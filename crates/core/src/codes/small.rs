@@ -1,0 +1,124 @@
+//! Small quasi-cyclic codes mirroring the CCSDS C2 structure.
+//!
+//! Monte-Carlo tests and quick benchmark variants need codes that decode in
+//! microseconds rather than milliseconds. The codes here keep the *shape*
+//! of the C2 code — a `2 × b` array of weight-two circulants, so row weight
+//! `2b` and column weight 4 — at much smaller circulant sizes.
+
+use crate::{LdpcCode, QcLdpcSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// A fixed (248, ~188) demo code: 2×8 blocks of 31×31 weight-two circulants.
+///
+/// Same local structure as the C2 code (row weight 16, column weight 4) at
+/// 1/33 the block length. Construction is deterministic, so tests can rely
+/// on its exact parameters.
+///
+/// ```
+/// let code = ldpc_core::codes::small::demo_code();
+/// assert_eq!(code.n(), 248);
+/// assert_eq!(code.n_checks(), 62);
+/// assert_eq!(code.graph().max_cn_degree(), 16);
+/// ```
+pub fn demo_code() -> Arc<LdpcCode> {
+    static CODE: OnceLock<Arc<LdpcCode>> = OnceLock::new();
+    CODE.get_or_init(|| {
+        // Hand-picked first-row positions with good spread modulo 31.
+        let table: [[[u32; 2]; 8]; 2] = [
+            [[0, 11], [3, 17], [0, 22], [5, 19], [0, 9], [7, 26], [0, 15], [2, 24]],
+            [[6, 29], [8, 21], [12, 27], [16, 30], [13, 25], [4, 18], [1, 23], [10, 28]],
+        ];
+        let first_rows: Vec<Vec<Vec<u32>>> = table
+            .iter()
+            .map(|row| row.iter().map(|p| p.to_vec()).collect())
+            .collect();
+        let spec = QcLdpcSpec::from_first_rows(31, &first_rows);
+        LdpcCode::from_parity_check("demo QC (248)", spec.expand())
+            .expect("demo code is statically valid")
+    })
+    .clone()
+}
+
+/// The block description of [`demo_code`], for layered schedules and the
+/// hardware simulator.
+pub fn demo_spec() -> QcLdpcSpec {
+    let table: [[[u32; 2]; 8]; 2] = [
+        [[0, 11], [3, 17], [0, 22], [5, 19], [0, 9], [7, 26], [0, 15], [2, 24]],
+        [[6, 29], [8, 21], [12, 27], [16, 30], [13, 25], [4, 18], [1, 23], [10, 28]],
+    ];
+    let first_rows: Vec<Vec<Vec<u32>>> = table
+        .iter()
+        .map(|row| row.iter().map(|p| p.to_vec()).collect())
+        .collect();
+    QcLdpcSpec::from_first_rows(31, &first_rows)
+}
+
+/// A random QC code with the C2 block structure at a chosen circulant size.
+///
+/// Deterministic for a given `seed`. `block_cols` of 16 with
+/// `circulant_size` 511 reproduces the C2 dimensions (with random rather
+/// than standard circulants).
+pub fn random_c2_like(seed: u64, circulant_size: usize, block_cols: usize) -> Arc<LdpcCode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = QcLdpcSpec::random(&mut rng, circulant_size, 2, block_cols, 2);
+    LdpcCode::from_parity_check(
+        format!("random QC (L={circulant_size}, 2x{block_cols})"),
+        spec.expand(),
+    )
+    .expect("random weight-2 QC construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_code_has_c2_shape() {
+        let code = demo_code();
+        let h = code.h();
+        assert_eq!(h.rows(), 62);
+        assert_eq!(h.cols(), 248);
+        assert_eq!(h.nnz(), 62 * 16);
+        for r in 0..h.rows() {
+            assert_eq!(h.row_weight(r), 16);
+        }
+        for w in h.col_weights() {
+            assert_eq!(w, 4);
+        }
+    }
+
+    #[test]
+    fn demo_code_dimension_positive() {
+        let code = demo_code();
+        let k = code.dimension();
+        assert!(k >= 248 - 62, "dimension {k} impossible");
+        assert!(k < 248);
+    }
+
+    #[test]
+    fn demo_spec_expands_to_demo_code() {
+        assert_eq!(&demo_spec().expand(), demo_code().h());
+    }
+
+    #[test]
+    fn random_code_is_deterministic_per_seed() {
+        let a = random_c2_like(1, 13, 4);
+        let b = random_c2_like(1, 13, 4);
+        let c = random_c2_like(2, 13, 4);
+        assert_eq!(a.h(), b.h());
+        assert_ne!(a.h(), c.h());
+    }
+
+    #[test]
+    fn random_code_keeps_regular_weights() {
+        let code = random_c2_like(42, 17, 6);
+        for r in 0..code.n_checks() {
+            assert_eq!(code.h().row_weight(r), 12);
+        }
+        for w in code.h().col_weights() {
+            assert_eq!(w, 4);
+        }
+    }
+}

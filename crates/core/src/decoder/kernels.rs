@@ -1,0 +1,294 @@
+//! Bit-exact fixed-point datapath primitives.
+//!
+//! These free functions are the single source of truth for the hardware
+//! arithmetic: [`FixedDecoder`](crate::FixedDecoder) uses them for whole-
+//! frame decoding and the `ldpc-hwsim` architecture simulator drives the
+//! same kernels cycle by cycle, which is what makes the two bit-identical.
+//!
+//! All magnitudes are non-negative `i16` values; messages are sign ×
+//! magnitude with saturation at the quantizer maximum (the most negative
+//! two's-complement code is never produced).
+
+/// Hardware normalization factor 1/α applied to check-node magnitudes,
+/// realized as shift-and-add so an FPGA needs no multiplier (paper §5:
+/// the "fine scaled correction factor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scaling {
+    /// No scaling (plain sign-min, α = 1).
+    Unity,
+    /// ×0.875 = `x − (x >> 3)` (α = 8/7).
+    SevenEighths,
+    /// ×0.75 = `x − (x >> 2)` (α = 4/3). The paper's operating point.
+    #[default]
+    ThreeQuarters,
+    /// ×0.5 = `x >> 1` (α = 2).
+    Half,
+}
+
+impl Scaling {
+    /// The multiplicative factor 1/α this scaling realizes.
+    pub fn factor(self) -> f32 {
+        match self {
+            Self::Unity => 1.0,
+            Self::SevenEighths => 0.875,
+            Self::ThreeQuarters => 0.75,
+            Self::Half => 0.5,
+        }
+    }
+
+    /// The normalization constant α = 1/factor.
+    pub fn alpha(self) -> f32 {
+        1.0 / self.factor()
+    }
+
+    /// Applies the scaling to a non-negative magnitude, exactly as the
+    /// shift-add hardware would.
+    ///
+    /// ```
+    /// use ldpc_core::decoder::kernels::Scaling;
+    /// assert_eq!(Scaling::ThreeQuarters.apply(12), 9);
+    /// assert_eq!(Scaling::ThreeQuarters.apply(13), 10); // 13 - (13>>2) = 13 - 3
+    /// assert_eq!(Scaling::Unity.apply(13), 13);
+    /// assert_eq!(Scaling::Half.apply(13), 6);
+    /// ```
+    #[inline]
+    pub fn apply(self, magnitude: i16) -> i16 {
+        debug_assert!(magnitude >= 0);
+        match self {
+            Self::Unity => magnitude,
+            Self::SevenEighths => magnitude - (magnitude >> 3),
+            Self::ThreeQuarters => magnitude - (magnitude >> 2),
+            Self::Half => magnitude >> 1,
+        }
+    }
+}
+
+/// Running state of a serial check-node scan: the two smallest input
+/// magnitudes, the position of the smallest, and the XOR of input signs.
+///
+/// This is also exactly the compressed check-node record the high-speed
+/// decoder variant stores in memory (DESIGN.md §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnState {
+    /// Smallest input magnitude.
+    pub min1: i16,
+    /// Second-smallest input magnitude.
+    pub min2: i16,
+    /// Index (within the check's edge list) of the smallest magnitude.
+    pub argmin: u32,
+    /// XOR of all input sign bits (`true` = negative product).
+    pub sign_product: bool,
+    /// Individual input sign bits, LSB first (`true` = negative). Supports
+    /// check degrees up to 64; the CCSDS C2 degree is 32.
+    pub signs: u64,
+}
+
+impl CnState {
+    /// Initial state before any input is absorbed.
+    pub fn new() -> Self {
+        Self {
+            min1: i16::MAX,
+            min2: i16::MAX,
+            argmin: 0,
+            sign_product: false,
+            signs: 0,
+        }
+    }
+
+    /// Absorbs input number `idx` with the given signed message value,
+    /// exactly as a serial CN unit would per clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx >= 64`.
+    #[inline]
+    pub fn absorb(&mut self, idx: u32, message: i16) {
+        debug_assert!(idx < 64, "CnState supports degrees up to 64");
+        let negative = message < 0;
+        let mag = if negative { -message } else { message }; // |i16::MIN| never produced
+        if negative {
+            self.sign_product = !self.sign_product;
+            self.signs |= 1u64 << idx;
+        }
+        if mag < self.min1 {
+            self.min2 = self.min1;
+            self.min1 = mag;
+            self.argmin = idx;
+        } else if mag < self.min2 {
+            self.min2 = mag;
+        }
+    }
+
+    /// Extrinsic output toward input `idx`: sign-product excluding own sign,
+    /// magnitude min-excluding-self, scaled by the normalization factor.
+    #[inline]
+    pub fn output(&self, idx: u32, scaling: Scaling) -> i16 {
+        let mag = if idx == self.argmin { self.min2 } else { self.min1 };
+        let mag = scaling.apply(mag);
+        let own_negative = (self.signs >> idx) & 1 == 1;
+        let negative = self.sign_product ^ own_negative;
+        if negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Default for CnState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Scans all inputs of one check node (eq. 1–2 of the paper in fixed point).
+pub fn cn_scan(messages: &[i16]) -> CnState {
+    let mut state = CnState::new();
+    for (idx, &m) in messages.iter().enumerate() {
+        state.absorb(idx as u32, m);
+    }
+    state
+}
+
+/// Saturates a wide accumulator to the symmetric range `[-max, max]`.
+#[inline]
+pub fn saturate(value: i32, max: i16) -> i16 {
+    let max = i32::from(max);
+    value.clamp(-max, max) as i16
+}
+
+/// Bit-node update (eq. 3) in fixed point: given the channel LLR, the sum
+/// of all incoming check messages, and one incoming message, produces the
+/// extrinsic message back to that check, saturated to `max`.
+#[inline]
+pub fn bn_output(channel: i16, total_in: i32, own_in: i16, max: i16) -> i16 {
+    saturate(i32::from(channel) + total_in - i32::from(own_in), max)
+}
+
+/// A-posteriori value of a bit node: channel LLR plus all incoming check
+/// messages, saturated to `max`.
+#[inline]
+pub fn bn_posterior(channel: i16, total_in: i32, max: i16) -> i16 {
+    saturate(i32::from(channel) + total_in, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_factors_match_shift_add() {
+        for mag in 0i16..200 {
+            assert_eq!(Scaling::Unity.apply(mag), mag);
+            assert_eq!(Scaling::SevenEighths.apply(mag), mag - (mag >> 3));
+            assert_eq!(Scaling::ThreeQuarters.apply(mag), mag - (mag >> 2));
+            assert_eq!(Scaling::Half.apply(mag), mag >> 1);
+        }
+    }
+
+    #[test]
+    fn scaling_alpha_is_reciprocal() {
+        for s in [Scaling::Unity, Scaling::SevenEighths, Scaling::ThreeQuarters, Scaling::Half] {
+            assert!((s.factor() * s.alpha() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cn_scan_finds_two_minima() {
+        let st = cn_scan(&[5, -3, 7, 2, -6]);
+        assert_eq!(st.min1, 2);
+        assert_eq!(st.min2, 3);
+        assert_eq!(st.argmin, 3);
+        // Two negative inputs -> even sign product.
+        assert!(!st.sign_product);
+        assert_eq!(st.signs, 0b10010);
+    }
+
+    #[test]
+    fn cn_output_excludes_self() {
+        let st = cn_scan(&[5, -3, 7, 2, -6]);
+        // Toward index 3 (the argmin) the magnitude is min2 = 3.
+        assert_eq!(st.output(3, Scaling::Unity), 3);
+        // Toward any other index it is min1 = 2.
+        assert_eq!(st.output(0, Scaling::Unity).abs(), 2);
+    }
+
+    #[test]
+    fn cn_output_sign_is_product_of_others() {
+        // inputs: [+, -, +]: product is negative.
+        let st = cn_scan(&[4, -2, 9]);
+        // Toward index 1 the remaining signs are (+, +) -> positive.
+        assert!(st.output(1, Scaling::Unity) > 0);
+        // Toward index 0 the remaining signs are (-, +) -> negative.
+        assert!(st.output(0, Scaling::Unity) < 0);
+        assert!(st.output(2, Scaling::Unity) < 0);
+    }
+
+    #[test]
+    fn cn_output_applies_scaling() {
+        let st = cn_scan(&[8, 12]);
+        assert_eq!(st.output(0, Scaling::ThreeQuarters), 9); // min toward 0 is 12
+        assert_eq!(st.output(1, Scaling::ThreeQuarters), 6);
+    }
+
+    #[test]
+    fn cn_matches_naive_reference() {
+        // Brute-force check against the direct definition of eq. (1)-(2).
+        let cases: Vec<Vec<i16>> = vec![
+            vec![1, 2, 3],
+            vec![-5, 4, -4, 4],
+            vec![0, -7, 3, 3, -3, 9],
+            vec![-1, -1],
+        ];
+        for inputs in cases {
+            let st = cn_scan(&inputs);
+            for i in 0..inputs.len() {
+                let mut mag = i16::MAX;
+                let mut neg = false;
+                for (j, &x) in inputs.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    mag = mag.min(x.abs());
+                    neg ^= x < 0;
+                }
+                let expect = if neg { -mag } else { mag };
+                assert_eq!(st.output(i as u32, Scaling::Unity), expect, "inputs {inputs:?} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturate_clamps_symmetrically() {
+        assert_eq!(saturate(100, 31), 31);
+        assert_eq!(saturate(-100, 31), -31);
+        assert_eq!(saturate(7, 31), 7);
+        assert_eq!(saturate(i32::MAX, 31), 31);
+        assert_eq!(saturate(i32::MIN, 31), -31);
+    }
+
+    #[test]
+    fn bn_output_subtracts_own_message() {
+        // channel 3, messages sum 10, own message 4 -> 3 + 10 - 4 = 9.
+        assert_eq!(bn_output(3, 10, 4, 31), 9);
+        // Saturation engages.
+        assert_eq!(bn_output(20, 30, 0, 31), 31);
+        assert_eq!(bn_output(-20, -30, 0, 31), -31);
+    }
+
+    #[test]
+    fn bn_posterior_is_full_sum() {
+        assert_eq!(bn_posterior(3, 10, 31), 13);
+        assert_eq!(bn_posterior(-3, -40, 31), -31);
+    }
+
+    #[test]
+    fn zero_magnitude_dominates_min() {
+        let st = cn_scan(&[0, 5, -9]);
+        // Outputs toward non-zero inputs have magnitude 0.
+        assert_eq!(st.output(1, Scaling::ThreeQuarters), 0);
+        assert_eq!(st.output(2, Scaling::ThreeQuarters), 0);
+        // Output toward the zero input uses min2 = 5.
+        assert_eq!(st.output(0, Scaling::Unity).abs(), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! The decoder family: message-passing decoders over the Tanner graph.
+//!
+//! All decoders implement [`Decoder`] and share the same edge-indexed
+//! message layout defined by [`TannerGraph`](crate::TannerGraph). The
+//! classical flooding iteration follows the paper's §2.1: bit nodes send
+//! messages to check nodes, check nodes process (eq. 1–2), send back, and
+//! bit nodes update (eq. 3).
+//!
+//! | Decoder | Arithmetic | CN rule | Paper role |
+//! |---------|-----------|---------|------------|
+//! | [`SumProductDecoder`] | `f32` | tanh product | reference ("BP") |
+//! | [`MinSumDecoder`] | `f32` | sign·min with normalization/offset | eq. (2) |
+//! | [`FixedDecoder`] | saturating integer | sign·min, shift-add scaling | the FPGA datapath |
+//! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
+
+mod alpha;
+mod bitflip;
+mod fixed;
+pub mod kernels;
+mod layered;
+mod minsum;
+mod selfcorrect;
+mod spa;
+
+pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
+pub use bitflip::{GallagerBDecoder, WeightedBitFlipDecoder};
+pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
+pub use selfcorrect::SelfCorrectedMinSumDecoder;
+pub use kernels::Scaling;
+pub use layered::LayeredMinSumDecoder;
+pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
+pub use spa::SumProductDecoder;
+
+use gf2::BitVec;
+
+/// Outcome of a decoding attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeResult {
+    /// Hard decision on every code bit after the final iteration.
+    pub hard_decision: BitVec,
+    /// Number of iterations actually performed.
+    pub iterations: u32,
+    /// `true` if the hard decision satisfies every parity check
+    /// (zero syndrome).
+    pub converged: bool,
+}
+
+/// A message-passing LDPC decoder.
+///
+/// Implementations are stateful only for workspace reuse: `decode` is
+/// deterministic in its inputs and implementations may be called repeatedly
+/// on different frames.
+///
+/// LLR sign convention: positive = bit 0, negative = bit 1.
+pub trait Decoder {
+    /// Decodes one frame of channel LLRs.
+    ///
+    /// Runs at most `max_iterations` iterations, stopping early when the
+    /// syndrome becomes zero if the implementation supports early
+    /// termination (all of the provided ones do, unless configured
+    /// otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llrs.len()` differs from the code length.
+    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult;
+
+    /// Code length n this decoder expects.
+    fn n(&self) -> usize;
+
+    /// Short human-readable name for reports ("sum-product", …).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::small::demo_code;
+    use crate::Encoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    /// Builds one of each decoder over the demo code.
+    fn all_decoders() -> Vec<Box<dyn Decoder>> {
+        let code = demo_code();
+        vec![
+            Box::new(SumProductDecoder::new(code.clone())),
+            Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::plain())),
+            Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::normalized(1.25))),
+            Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::offset(0.15))),
+            Box::new(FixedDecoder::new(code.clone(), FixedConfig::default())),
+            Box::new(LayeredMinSumDecoder::new(code.clone(), 1.25)),
+        ]
+    }
+
+    #[test]
+    fn all_decoders_accept_noiseless_zero_codeword() {
+        let code = demo_code();
+        let llrs = vec![4.0_f32; code.n()];
+        for mut dec in all_decoders() {
+            let out = dec.decode(&llrs, 20);
+            assert!(out.converged, "{} failed to converge", dec.name());
+            assert!(out.hard_decision.is_zero(), "{} wrong output", dec.name());
+            assert!(out.iterations <= 2, "{} took {} iterations", dec.name(), out.iterations);
+        }
+    }
+
+    #[test]
+    fn all_decoders_recover_noiseless_random_codeword() {
+        let code = demo_code();
+        let enc = Encoder::new(&code).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let msg: Vec<u8> = (0..enc.dimension()).map(|_| rng.gen_range(0..2u8)).collect();
+        let cw = enc.encode_bits(&msg).unwrap();
+        let llrs: Vec<f32> = (0..code.n())
+            .map(|i| if cw.get(i) { -4.0 } else { 4.0 })
+            .collect();
+        for mut dec in all_decoders() {
+            let out = dec.decode(&llrs, 20);
+            assert!(out.converged, "{}", dec.name());
+            assert_eq!(out.hard_decision, cw, "{}", dec.name());
+        }
+    }
+
+    #[test]
+    fn all_decoders_correct_a_few_flipped_bits() {
+        let code = demo_code();
+        let mut rng = StdRng::seed_from_u64(12);
+        // All-zero codeword with 4 bits pushed toward 1 and mild noise.
+        let mut llrs: Vec<f32> = (0..code.n()).map(|_| 2.0 + rng.gen::<f32>()).collect();
+        for &i in &[5usize, 60, 130, 200] {
+            llrs[i] = -1.5;
+        }
+        for mut dec in all_decoders() {
+            let out = dec.decode(&llrs, 50);
+            assert!(out.converged, "{} did not converge", dec.name());
+            assert!(out.hard_decision.is_zero(), "{} failed to correct", dec.name());
+        }
+    }
+
+    #[test]
+    fn unconverged_result_reports_honestly() {
+        let code = demo_code();
+        // Adversarial garbage: strong wrong beliefs everywhere.
+        let mut rng = StdRng::seed_from_u64(13);
+        let llrs: Vec<f32> = (0..code.n())
+            .map(|_| if rng.gen_bool(0.5) { -6.0 } else { 6.0 })
+            .collect();
+        let mut dec = MinSumDecoder::new(code, MinSumConfig::plain());
+        let out = dec.decode(&llrs, 3);
+        if !out.converged {
+            assert_eq!(out.iterations, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_llr_length_panics() {
+        let mut dec = SumProductDecoder::new(demo_code());
+        dec.decode(&[0.0; 5], 1);
+    }
+
+    #[test]
+    fn decoders_are_send() {
+        fn assert_send<T: Send>(_t: &T) {}
+        let code: Arc<_> = demo_code();
+        let dec = SumProductDecoder::new(code);
+        assert_send(&dec);
+    }
+}

@@ -1,0 +1,238 @@
+//! Self-corrected min-sum (Savin): sign-flip erasure of unreliable
+//! messages.
+//!
+//! A bit-to-check message whose sign flips between consecutive iterations
+//! is unreliable; the self-corrected variant *erases* it (sends zero)
+//! instead of propagating the oscillation. On top of normalization this
+//! recovers a further slice of the sum-product gap at negligible hardware
+//! cost (one sign register per edge) — a natural extension of the paper's
+//! datapath and part of the ablation set.
+
+use crate::decoder::{DecodeResult, Decoder};
+use crate::LdpcCode;
+use gf2::BitVec;
+use std::sync::Arc;
+
+/// Self-corrected normalized min-sum decoder.
+///
+/// # Example
+///
+/// ```
+/// use ldpc_core::codes::small::demo_code;
+/// use ldpc_core::decoder::{Decoder, SelfCorrectedMinSumDecoder};
+///
+/// let code = demo_code();
+/// let mut dec = SelfCorrectedMinSumDecoder::new(code.clone(), 4.0 / 3.0);
+/// let out = dec.decode(&vec![3.0; code.n()], 10);
+/// assert!(out.converged);
+/// ```
+pub struct SelfCorrectedMinSumDecoder {
+    code: Arc<LdpcCode>,
+    alpha: f32,
+    bc: Vec<f32>,
+    cb: Vec<f32>,
+    /// Sign of the previous iteration's bit-to-check message per edge:
+    /// 0 = unset, 1 = positive, 2 = negative.
+    prev_sign: Vec<u8>,
+    hard: Vec<u8>,
+    early_stop: bool,
+}
+
+impl SelfCorrectedMinSumDecoder {
+    /// Creates a self-corrected decoder with normalization `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 1.0`.
+    pub fn new(code: Arc<LdpcCode>, alpha: f32) -> Self {
+        assert!(alpha >= 1.0, "normalization factor must be >= 1");
+        let edges = code.graph().n_edges();
+        let n = code.n();
+        Self {
+            code,
+            alpha,
+            bc: vec![0.0; edges],
+            cb: vec![0.0; edges],
+            prev_sign: vec![0; edges],
+            hard: vec![0; n],
+            early_stop: true,
+        }
+    }
+
+    /// Disables or enables early termination.
+    pub fn with_early_stop(mut self, early_stop: bool) -> Self {
+        self.early_stop = early_stop;
+        self
+    }
+
+    fn cn_phase(&mut self) {
+        let code = self.code.clone();
+        let graph = code.graph();
+        for m in 0..graph.n_checks() {
+            let range = graph.cn_edge_range(m);
+            let mut min1 = f32::INFINITY;
+            let mut min2 = f32::INFINITY;
+            let mut argmin = range.start;
+            let mut sign_product = false;
+            for e in range.clone() {
+                let x = self.bc[e];
+                let mag = x.abs();
+                if x < 0.0 {
+                    sign_product = !sign_product;
+                }
+                if mag < min1 {
+                    min2 = min1;
+                    min1 = mag;
+                    argmin = e;
+                } else if mag < min2 {
+                    min2 = mag;
+                }
+            }
+            for e in range {
+                let mag = if e == argmin { min2 } else { min1 } / self.alpha;
+                let negative = sign_product ^ (self.bc[e] < 0.0);
+                self.cb[e] = if negative { -mag } else { mag };
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // n indexes llrs, hard, and the graph in lockstep
+    fn bn_phase(&mut self, llrs: &[f32]) {
+        let code = self.code.clone();
+        let graph = code.graph();
+        for n in 0..graph.n_bits() {
+            let edges = graph.bn_edge_ids(n);
+            let mut total = llrs[n];
+            for &e in edges {
+                total += self.cb[e as usize];
+            }
+            for &e in edges {
+                let e = e as usize;
+                let raw = total - self.cb[e];
+                // Self-correction: erase messages whose sign flipped since
+                // the previous iteration.
+                let sign_now = if raw > 0.0 {
+                    1u8
+                } else if raw < 0.0 {
+                    2u8
+                } else {
+                    0u8
+                };
+                let flipped =
+                    self.prev_sign[e] != 0 && sign_now != 0 && sign_now != self.prev_sign[e];
+                self.bc[e] = if flipped { 0.0 } else { raw };
+                if sign_now != 0 {
+                    self.prev_sign[e] = sign_now;
+                }
+            }
+            self.hard[n] = u8::from(total < 0.0);
+        }
+    }
+}
+
+impl Decoder for SelfCorrectedMinSumDecoder {
+    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
+        let code = self.code.clone();
+        let graph = code.graph();
+        assert_eq!(channel_llrs.len(), graph.n_bits(), "channel LLR length mismatch");
+        for e in 0..graph.n_edges() {
+            self.bc[e] = channel_llrs[graph.edge_bit(e)];
+            self.prev_sign[e] = 0;
+        }
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..max_iterations {
+            self.cn_phase();
+            self.bn_phase(channel_llrs);
+            iterations += 1;
+            if graph.syndrome_ok(&self.hard) {
+                converged = true;
+                if self.early_stop {
+                    break;
+                }
+            } else {
+                converged = false;
+            }
+        }
+        DecodeResult {
+            hard_decision: BitVec::from_bits(&self.hard),
+            iterations,
+            converged,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.code.n()
+    }
+
+    fn name(&self) -> &'static str {
+        "self-corrected min-sum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::small::demo_code;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_and_noisy_frames_decode() {
+        let code = demo_code();
+        let mut dec = SelfCorrectedMinSumDecoder::new(code.clone(), 4.0 / 3.0);
+        let out = dec.decode(&vec![4.0; code.n()], 10);
+        assert!(out.converged);
+        assert!(out.hard_decision.is_zero());
+
+        let mut llrs = vec![2.5f32; code.n()];
+        for &i in &[3usize, 77, 150] {
+            llrs[i] = -1.5;
+        }
+        let out = dec.decode(&llrs, 30);
+        assert!(out.converged);
+        assert!(out.hard_decision.is_zero());
+    }
+
+    #[test]
+    fn state_resets_between_frames() {
+        let code = demo_code();
+        let mut dec = SelfCorrectedMinSumDecoder::new(code.clone(), 1.25);
+        let mut rng = StdRng::seed_from_u64(40);
+        let garbage: Vec<f32> = (0..code.n()).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let _ = dec.decode(&garbage, 10);
+        let out = dec.decode(&vec![4.0; code.n()], 5);
+        assert!(out.converged);
+        assert!(out.hard_decision.is_zero());
+    }
+
+    #[test]
+    fn no_worse_than_plain_normalized_on_hard_frames() {
+        use crate::{MinSumConfig, MinSumDecoder};
+        let code = demo_code();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut sc_ok = 0;
+        let mut nms_ok = 0;
+        for _ in 0..60 {
+            let llrs: Vec<f32> = (0..code.n())
+                .map(|_| 1.1 + rng.gen_range(-1.6..1.0))
+                .collect();
+            let mut sc = SelfCorrectedMinSumDecoder::new(code.clone(), 4.0 / 3.0);
+            if sc.decode(&llrs, 30).converged {
+                sc_ok += 1;
+            }
+            let mut nms = MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0));
+            if nms.decode(&llrs, 30).converged {
+                nms_ok += 1;
+            }
+        }
+        // Self-correction should hold its own (allow small statistical slack).
+        assert!(sc_ok + 3 >= nms_ok, "self-corrected {sc_ok} vs normalized {nms_ok}");
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_alpha_below_one() {
+        SelfCorrectedMinSumDecoder::new(demo_code(), 0.5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types of the code-construction and encoding layers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an [`LdpcCode`](crate::LdpcCode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The parity-check matrix has no rows or no columns.
+    EmptyMatrix,
+    /// A check node (row of H) has no connected bit nodes.
+    EmptyCheck {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A bit node (column of H) participates in no parity check.
+    UnprotectedBit {
+        /// Index of the offending column.
+        column: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyMatrix => write!(f, "parity-check matrix has no rows or columns"),
+            Self::EmptyCheck { row } => write!(f, "check node {row} has degree zero"),
+            Self::UnprotectedBit { column } => {
+                write!(f, "bit node {column} participates in no parity check")
+            }
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+/// Error produced by [`Encoder`](crate::Encoder) construction or encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// The message length does not match the code dimension.
+    MessageLength {
+        /// Code dimension (expected message length).
+        expected: usize,
+        /// Supplied message length.
+        actual: usize,
+    },
+    /// The parity-check matrix has full column rank: the code has
+    /// dimension zero and nothing can be encoded.
+    ZeroDimension,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MessageLength { expected, actual } => {
+                write!(f, "message length {actual} does not match code dimension {expected}")
+            }
+            Self::ZeroDimension => write!(f, "code has dimension zero"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let msgs = [
+            CodeError::EmptyMatrix.to_string(),
+            CodeError::EmptyCheck { row: 3 }.to_string(),
+            CodeError::UnprotectedBit { column: 7 }.to_string(),
+            EncodeError::MessageLength { expected: 4, actual: 5 }.to_string(),
+            EncodeError::ZeroDimension.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<CodeError>();
+        check::<EncodeError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Log-likelihood-ratio quantization.
+//!
+//! The decoders follow the usual sign convention: a **positive** LLR is
+//! evidence for bit value 0 and a **negative** LLR for bit value 1.
+
+/// A uniform, saturating quantizer mapping floating-point LLRs to the
+/// two's-complement fixed-point levels of the hardware datapath.
+///
+/// A `bits`-bit quantizer produces symmetric levels in
+/// `[-(2^(bits-1) - 1), 2^(bits-1) - 1]` (the most negative code is unused,
+/// as is common in decoder datapaths so that magnitudes stay symmetric),
+/// spaced `step` apart in LLR units.
+///
+/// # Example
+///
+/// ```
+/// use ldpc_core::LlrQuantizer;
+///
+/// let q = LlrQuantizer::new(5, 0.5); // 5-bit channel LLRs, 0.5 LLR / LSB
+/// assert_eq!(q.max_level(), 15);
+/// assert_eq!(q.quantize(1.3), 3);    // round(1.3 / 0.5)
+/// assert_eq!(q.quantize(-100.0), -15); // saturates
+/// assert!((q.dequantize(3) - 1.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlrQuantizer {
+    bits: u32,
+    step: f32,
+    max: i16,
+}
+
+impl LlrQuantizer {
+    /// Creates a quantizer with the given width and LLR step per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=15` or `step` is not positive.
+    pub fn new(bits: u32, step: f32) -> Self {
+        assert!((2..=15).contains(&bits), "quantizer width must be in 2..=15 bits");
+        assert!(step > 0.0, "quantizer step must be positive");
+        Self {
+            bits,
+            step,
+            max: ((1i32 << (bits - 1)) - 1) as i16,
+        }
+    }
+
+    /// Width in bits (including the sign).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// LLR value of one least-significant bit.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_level(&self) -> i16 {
+        self.max
+    }
+
+    /// Quantizes one LLR, rounding to the nearest level and saturating.
+    pub fn quantize(&self, llr: f32) -> i16 {
+        let scaled = (llr / self.step).round();
+        let max = f32::from(self.max);
+        scaled.clamp(-max, max) as i16
+    }
+
+    /// Quantizes a slice of LLRs.
+    pub fn quantize_slice(&self, llrs: &[f32]) -> Vec<i16> {
+        llrs.iter().map(|&l| self.quantize(l)).collect()
+    }
+
+    /// Maps a level back to its LLR value.
+    pub fn dequantize(&self, level: i16) -> f32 {
+        f32::from(level) * self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_range() {
+        let q = LlrQuantizer::new(6, 0.25);
+        assert_eq!(q.max_level(), 31);
+        assert_eq!(q.quantize(1e9), 31);
+        assert_eq!(q.quantize(-1e9), -31);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let q = LlrQuantizer::new(4, 1.0);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(-0.0), 0);
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        let q = LlrQuantizer::new(6, 1.0);
+        assert_eq!(q.quantize(1.4), 1);
+        assert_eq!(q.quantize(1.6), 2);
+        assert_eq!(q.quantize(-1.6), -2);
+    }
+
+    #[test]
+    fn sign_preserved() {
+        let q = LlrQuantizer::new(5, 0.5);
+        for llr in [-7.3, -0.6, 0.6, 7.3] {
+            let lv = q.quantize(llr);
+            assert_eq!(lv.signum() as f32, llr.signum(), "llr {llr}");
+        }
+    }
+
+    #[test]
+    fn dequantize_inverts_on_grid() {
+        let q = LlrQuantizer::new(5, 0.5);
+        for level in -15i16..=15 {
+            assert_eq!(q.quantize(q.dequantize(level)), level);
+        }
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let q = LlrQuantizer::new(5, 0.5);
+        let xs = [0.1, -3.0, 99.0];
+        let got = q.quantize_slice(&xs);
+        let want: Vec<i16> = xs.iter().map(|&x| q.quantize(x)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_one_bit() {
+        LlrQuantizer::new(1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn rejects_nonpositive_step() {
+        LlrQuantizer::new(5, 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Quasi-cyclic LDPC parity-check matrix specifications.
+
+use gf2::{Circulant, SparseMatrix};
+use rand::Rng;
+use std::fmt;
+
+/// A quasi-cyclic parity-check matrix: a block array of circulants.
+///
+/// The matrix is `block_rows × block_cols` blocks, each block a square
+/// [`Circulant`] of dimension `circulant_size`. The CCSDS C2 near-earth code
+/// uses a 2×16 array of 511×511 circulants of row weight two, giving the
+/// 1022×8176 parity-check matrix of the paper's Figure 2.
+///
+/// # Example
+///
+/// ```
+/// use ldpc_core::QcLdpcSpec;
+/// use gf2::Circulant;
+///
+/// let mut spec = QcLdpcSpec::new(4, 1, 2);
+/// spec.set_block(0, 0, Circulant::new(4, &[0, 1]));
+/// spec.set_block(0, 1, Circulant::identity(4));
+/// let h = spec.expand();
+/// assert_eq!((h.rows(), h.cols()), (4, 8));
+/// assert_eq!(h.nnz(), 4 * 2 + 4);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct QcLdpcSpec {
+    circulant_size: usize,
+    block_rows: usize,
+    block_cols: usize,
+    blocks: Vec<Circulant>, // row-major
+}
+
+impl QcLdpcSpec {
+    /// Creates a spec with every block set to the zero circulant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(circulant_size: usize, block_rows: usize, block_cols: usize) -> Self {
+        assert!(circulant_size > 0, "circulant size must be positive");
+        assert!(block_rows > 0 && block_cols > 0, "block dimensions must be positive");
+        Self {
+            circulant_size,
+            block_rows,
+            block_cols,
+            blocks: vec![Circulant::zero(circulant_size); block_rows * block_cols],
+        }
+    }
+
+    /// Builds a spec from per-block first-row one positions.
+    ///
+    /// `first_rows[r][c]` lists the one positions of the first row of block
+    /// `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nested slice dimensions disagree with
+    /// `block_rows × block_cols` or any position is out of range.
+    pub fn from_first_rows(
+        circulant_size: usize,
+        first_rows: &[Vec<Vec<u32>>],
+    ) -> Self {
+        let block_rows = first_rows.len();
+        assert!(block_rows > 0, "need at least one block row");
+        let block_cols = first_rows[0].len();
+        let mut spec = Self::new(circulant_size, block_rows, block_cols);
+        for (r, row) in first_rows.iter().enumerate() {
+            assert_eq!(row.len(), block_cols, "ragged block row {r}");
+            for (c, positions) in row.iter().enumerate() {
+                spec.set_block(r, c, Circulant::new(circulant_size, positions));
+            }
+        }
+        spec
+    }
+
+    /// Generates a random spec where every block has the given row weight.
+    ///
+    /// Used by tests and ablations to produce codes with the same regular
+    /// structure as the CCSDS C2 code but different sizes.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        circulant_size: usize,
+        block_rows: usize,
+        block_cols: usize,
+        block_weight: usize,
+    ) -> Self {
+        assert!(
+            block_weight <= circulant_size,
+            "block weight cannot exceed circulant size"
+        );
+        let mut spec = Self::new(circulant_size, block_rows, block_cols);
+        for r in 0..block_rows {
+            for c in 0..block_cols {
+                let mut positions = Vec::with_capacity(block_weight);
+                while positions.len() < block_weight {
+                    let p = rng.gen_range(0..circulant_size) as u32;
+                    if !positions.contains(&p) {
+                        positions.push(p);
+                    }
+                }
+                spec.set_block(r, c, Circulant::new(circulant_size, &positions));
+            }
+        }
+        spec
+    }
+
+    /// Sets block `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the circulant size disagrees.
+    pub fn set_block(&mut self, r: usize, c: usize, block: Circulant) {
+        assert!(r < self.block_rows && c < self.block_cols, "block index out of range");
+        assert_eq!(
+            block.size(),
+            self.circulant_size,
+            "circulant size mismatch"
+        );
+        self.blocks[r * self.block_cols + c] = block;
+    }
+
+    /// Borrows block `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn block(&self, r: usize, c: usize) -> &Circulant {
+        assert!(r < self.block_rows && c < self.block_cols, "block index out of range");
+        &self.blocks[r * self.block_cols + c]
+    }
+
+    /// Circulant dimension.
+    pub fn circulant_size(&self) -> usize {
+        self.circulant_size
+    }
+
+    /// Number of block rows.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of block columns.
+    pub fn block_cols(&self) -> usize {
+        self.block_cols
+    }
+
+    /// Total rows of the expanded matrix.
+    pub fn rows(&self) -> usize {
+        self.block_rows * self.circulant_size
+    }
+
+    /// Total columns of the expanded matrix.
+    pub fn cols(&self) -> usize {
+        self.block_cols * self.circulant_size
+    }
+
+    /// Expands the block description into a sparse parity-check matrix.
+    pub fn expand(&self) -> SparseMatrix {
+        let l = self.circulant_size;
+        let mut rows: Vec<Vec<u32>> = Vec::with_capacity(self.rows());
+        for br in 0..self.block_rows {
+            for i in 0..l {
+                let mut row = Vec::new();
+                for bc in 0..self.block_cols {
+                    let base = (bc * l) as u32;
+                    for p in self.block(br, bc).row_ones(i) {
+                        row.push(base + p);
+                    }
+                }
+                row.sort_unstable();
+                rows.push(row);
+            }
+        }
+        SparseMatrix::from_rows(self.cols(), rows)
+    }
+
+    /// Row groups of the expanded matrix corresponding to each block row.
+    ///
+    /// Useful as decoding layers for layered schedules.
+    pub fn block_row_layers(&self) -> Vec<Vec<u32>> {
+        let l = self.circulant_size;
+        (0..self.block_rows)
+            .map(|br| ((br * l) as u32..((br + 1) * l) as u32).collect())
+            .collect()
+    }
+}
+
+impl fmt::Debug for QcLdpcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QcLdpcSpec({}x{} blocks of {}x{} circulants)",
+            self.block_rows, self.block_cols, self.circulant_size, self.circulant_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expand_dimensions() {
+        let spec = QcLdpcSpec::new(5, 2, 3);
+        let h = spec.expand();
+        assert_eq!(h.rows(), 10);
+        assert_eq!(h.cols(), 15);
+        assert_eq!(h.nnz(), 0);
+    }
+
+    #[test]
+    fn expand_places_circulants_at_block_offsets() {
+        let mut spec = QcLdpcSpec::new(3, 1, 2);
+        spec.set_block(0, 0, Circulant::identity(3));
+        spec.set_block(0, 1, Circulant::new(3, &[1]));
+        let h = spec.expand();
+        // Row 0: identity gives col 0; shifted identity gives col 3+1.
+        assert_eq!(h.row(0), &[0, 4]);
+        assert_eq!(h.row(1), &[1, 5]);
+        assert_eq!(h.row(2), &[2, 3]); // wraps
+    }
+
+    #[test]
+    fn regular_weights_from_uniform_blocks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = QcLdpcSpec::random(&mut rng, 11, 2, 4, 2);
+        let h = spec.expand();
+        assert_eq!(h.nnz(), 2 * 4 * 11 * 2);
+        for r in 0..h.rows() {
+            assert_eq!(h.row_weight(r), 8, "row {r}");
+        }
+        for (c, w) in h.col_weights().into_iter().enumerate() {
+            assert_eq!(w, 4, "col {c}");
+        }
+    }
+
+    #[test]
+    fn block_row_layers_partition_rows() {
+        let spec = QcLdpcSpec::new(4, 3, 2);
+        let layers = spec.block_row_layers();
+        assert_eq!(layers.len(), 3);
+        let all: Vec<u32> = layers.concat();
+        assert_eq!(all, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn from_first_rows_matches_manual_construction() {
+        let spec = QcLdpcSpec::from_first_rows(4, &[vec![vec![0, 2], vec![1]]]);
+        assert_eq!(spec.block(0, 0).first_row(), &[0, 2]);
+        assert_eq!(spec.block(0, 1).first_row(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn set_block_rejects_wrong_size() {
+        let mut spec = QcLdpcSpec::new(4, 1, 1);
+        spec.set_block(0, 0, Circulant::identity(5));
+    }
+}

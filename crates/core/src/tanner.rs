@@ -1,0 +1,351 @@
+//! Tanner graph representation with the edge-indexed message layout used by
+//! all decoders.
+
+use gf2::{BitVec, SparseMatrix};
+
+/// The bipartite bit-node / check-node graph of an LDPC code (paper Fig. 1).
+///
+/// Edges are numbered contiguously **grouped by check node**, which is the
+/// natural layout for message memories: the check-node phase streams over
+/// edges in order, while the bit-node phase uses a per-bit index into the
+/// same array. Both the software decoders and the hardware-architecture
+/// simulator address messages through this single numbering, which is what
+/// makes bit-exact cross-validation possible.
+#[derive(Clone, Debug)]
+pub struct TannerGraph {
+    n_bits: usize,
+    n_checks: usize,
+    /// Edge range of check `m` is `cn_offsets[m]..cn_offsets[m+1]`.
+    cn_offsets: Vec<u32>,
+    /// Bit node of each edge (in check-grouped edge order).
+    edge_bn: Vec<u32>,
+    /// Edge-id range of bit `n` is `bn_offsets[n]..bn_offsets[n+1]` in
+    /// `bn_edges`.
+    bn_offsets: Vec<u32>,
+    /// Edge ids (into the check-grouped numbering) incident to each bit.
+    bn_edges: Vec<u32>,
+    /// Check node of each entry of `bn_edges` (parallel array).
+    bn_cn: Vec<u32>,
+    max_cn_degree: usize,
+    max_bn_degree: usize,
+}
+
+impl TannerGraph {
+    /// Builds the graph of a parity-check matrix (rows = check nodes).
+    pub fn from_parity_check(h: &SparseMatrix) -> Self {
+        let n_checks = h.rows();
+        let n_bits = h.cols();
+        let n_edges = h.nnz();
+
+        let mut cn_offsets = Vec::with_capacity(n_checks + 1);
+        let mut edge_bn = Vec::with_capacity(n_edges);
+        cn_offsets.push(0u32);
+        for m in 0..n_checks {
+            for &c in h.row(m) {
+                edge_bn.push(c);
+            }
+            cn_offsets.push(edge_bn.len() as u32);
+        }
+
+        // Invert: edges grouped by bit node.
+        let col_weights = h.col_weights();
+        let mut bn_offsets = Vec::with_capacity(n_bits + 1);
+        bn_offsets.push(0u32);
+        for w in &col_weights {
+            let last = *bn_offsets.last().expect("non-empty");
+            bn_offsets.push(last + *w as u32);
+        }
+        let mut cursor: Vec<u32> = bn_offsets[..n_bits].to_vec();
+        let mut bn_edges = vec![0u32; n_edges];
+        let mut bn_cn = vec![0u32; n_edges];
+        for m in 0..n_checks {
+            for e in cn_offsets[m]..cn_offsets[m + 1] {
+                let bn = edge_bn[e as usize] as usize;
+                let slot = cursor[bn] as usize;
+                bn_edges[slot] = e;
+                bn_cn[slot] = m as u32;
+                cursor[bn] += 1;
+            }
+        }
+
+        let max_cn_degree = (0..n_checks)
+            .map(|m| (cn_offsets[m + 1] - cn_offsets[m]) as usize)
+            .max()
+            .unwrap_or(0);
+        let max_bn_degree = col_weights.iter().copied().max().unwrap_or(0);
+
+        Self {
+            n_bits,
+            n_checks,
+            cn_offsets,
+            edge_bn,
+            bn_offsets,
+            bn_edges,
+            bn_cn,
+            max_cn_degree,
+            max_bn_degree,
+        }
+    }
+
+    /// Number of bit nodes (code length n).
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of check nodes (rows of H).
+    pub fn n_checks(&self) -> usize {
+        self.n_checks
+    }
+
+    /// Number of edges (ones of H). The CCSDS C2 code has 32 704.
+    pub fn n_edges(&self) -> usize {
+        self.edge_bn.len()
+    }
+
+    /// Degree of check node `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_checks`.
+    pub fn cn_degree(&self, m: usize) -> usize {
+        (self.cn_offsets[m + 1] - self.cn_offsets[m]) as usize
+    }
+
+    /// Degree of bit node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= n_bits`.
+    pub fn bn_degree(&self, n: usize) -> usize {
+        (self.bn_offsets[n + 1] - self.bn_offsets[n]) as usize
+    }
+
+    /// Largest check-node degree.
+    pub fn max_cn_degree(&self) -> usize {
+        self.max_cn_degree
+    }
+
+    /// Largest bit-node degree.
+    pub fn max_bn_degree(&self) -> usize {
+        self.max_bn_degree
+    }
+
+    /// Edge-id range of check node `m` (check-grouped numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_checks`.
+    pub fn cn_edge_range(&self, m: usize) -> std::ops::Range<usize> {
+        self.cn_offsets[m] as usize..self.cn_offsets[m + 1] as usize
+    }
+
+    /// Bit nodes adjacent to check node `m` (one per edge, in edge order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n_checks`.
+    pub fn cn_bits(&self, m: usize) -> &[u32] {
+        &self.edge_bn[self.cn_edge_range(m)]
+    }
+
+    /// Bit node of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= n_edges`.
+    pub fn edge_bit(&self, e: usize) -> usize {
+        self.edge_bn[e] as usize
+    }
+
+    /// Edge ids incident to bit node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= n_bits`.
+    pub fn bn_edge_ids(&self, n: usize) -> &[u32] {
+        &self.bn_edges[self.bn_offsets[n] as usize..self.bn_offsets[n + 1] as usize]
+    }
+
+    /// Check nodes adjacent to bit node `n` (parallel to
+    /// [`bn_edge_ids`](Self::bn_edge_ids)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= n_bits`.
+    pub fn bn_checks(&self, n: usize) -> &[u32] {
+        &self.bn_cn[self.bn_offsets[n] as usize..self.bn_offsets[n + 1] as usize]
+    }
+
+    /// Verifies that a hard-decision word satisfies every parity check.
+    ///
+    /// `bits[i]` non-zero means bit value 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n_bits`.
+    pub fn syndrome_ok(&self, bits: &[u8]) -> bool {
+        assert_eq!(bits.len(), self.n_bits, "hard-decision length mismatch");
+        for m in 0..self.n_checks {
+            let mut parity = 0u8;
+            for &bn in self.cn_bits(m) {
+                parity ^= bits[bn as usize] & 1;
+            }
+            if parity != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Converts a hard-decision byte slice to a [`BitVec`].
+    pub fn bits_to_vec(&self, bits: &[u8]) -> BitVec {
+        BitVec::from_bits(bits)
+    }
+
+    /// Upper bound on the girth (shortest cycle length), by BFS from each of
+    /// the given bit nodes.
+    ///
+    /// Returns `None` if no cycle is reachable from the sampled nodes. The
+    /// true girth is the minimum over *all* start nodes; sampling trades
+    /// accuracy for speed on large graphs.
+    pub fn girth_from(&self, start_bits: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &start in start_bits {
+            assert!(start < self.n_bits, "start bit out of range");
+            if let Some(g) = self.bfs_cycle_from(start) {
+                best = Some(best.map_or(g, |b| b.min(g)));
+                if best == Some(4) {
+                    break; // 4 is the minimum possible in a bipartite graph
+                }
+            }
+        }
+        best
+    }
+
+    /// BFS from one bit node; returns the length of the shortest cycle
+    /// through it, if any.
+    fn bfs_cycle_from(&self, start: usize) -> Option<usize> {
+        // Node numbering: bits 0..n_bits, checks n_bits..n_bits+n_checks.
+        let total = self.n_bits + self.n_checks;
+        let mut dist = vec![u32::MAX; total];
+        let mut parent = vec![u32::MAX; total];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let neighbours: Vec<usize> = if u < self.n_bits {
+                self.bn_checks(u).iter().map(|&c| self.n_bits + c as usize).collect()
+            } else {
+                self.cn_bits(u - self.n_bits).iter().map(|&b| b as usize).collect()
+            };
+            for v in neighbours {
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = u as u32;
+                    queue.push_back(v);
+                } else if parent[u] != v as u32 {
+                    // Found a cycle through `start` of this length. For BFS
+                    // cycle detection this is the first and shortest.
+                    return Some((dist[u] + dist[v] + 1) as usize);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// H for a (7,4) Hamming-style code used as a small fixture.
+    fn small_h() -> SparseMatrix {
+        SparseMatrix::from_entries(
+            3,
+            7,
+            &[
+                (0, 0), (0, 1), (0, 2), (0, 4),
+                (1, 1), (1, 2), (1, 3), (1, 5),
+                (2, 0), (2, 2), (2, 3), (2, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = TannerGraph::from_parity_check(&small_h());
+        assert_eq!(g.n_bits(), 7);
+        assert_eq!(g.n_checks(), 3);
+        assert_eq!(g.n_edges(), 12);
+        assert_eq!(g.cn_degree(0), 4);
+        assert_eq!(g.bn_degree(2), 3);
+        assert_eq!(g.max_cn_degree(), 4);
+        assert_eq!(g.max_bn_degree(), 3);
+    }
+
+    #[test]
+    fn bit_and_check_views_are_consistent() {
+        let g = TannerGraph::from_parity_check(&small_h());
+        // For every bit n and its edge ids, the edge's bit must be n and the
+        // parallel check list must contain the owning check of that edge.
+        for n in 0..g.n_bits() {
+            let edges = g.bn_edge_ids(n);
+            let checks = g.bn_checks(n);
+            assert_eq!(edges.len(), checks.len());
+            for (&e, &m) in edges.iter().zip(checks) {
+                assert_eq!(g.edge_bit(e as usize), n);
+                let range = g.cn_edge_range(m as usize);
+                assert!(range.contains(&(e as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_grouped_by_check_cover_h() {
+        let h = small_h();
+        let g = TannerGraph::from_parity_check(&h);
+        for m in 0..g.n_checks() {
+            let bits: Vec<u32> = g.cn_bits(m).to_vec();
+            assert_eq!(bits, h.row(m));
+        }
+    }
+
+    #[test]
+    fn syndrome_ok_matches_matrix() {
+        let h = small_h();
+        let g = TannerGraph::from_parity_check(&h);
+        // Zero word always passes.
+        assert!(g.syndrome_ok(&[0; 7]));
+        // Exhaustively compare against sparse mul_vec.
+        for pattern in 0u32..128 {
+            let bits: Vec<u8> = (0..7).map(|i| ((pattern >> i) & 1) as u8).collect();
+            let v = BitVec::from_bits(&bits);
+            assert_eq!(g.syndrome_ok(&bits), h.in_nullspace(&v), "pattern {pattern:07b}");
+        }
+    }
+
+    #[test]
+    fn girth_of_four_cycle_detected() {
+        // Two checks sharing two bits -> 4-cycle.
+        let h = SparseMatrix::from_entries(2, 3, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let g = TannerGraph::from_parity_check(&h);
+        assert_eq!(g.girth_from(&[0]), Some(4));
+    }
+
+    #[test]
+    fn tree_has_no_cycle() {
+        // A path: check 0 connects bits 0,1; check 1 connects bits 1,2.
+        let h = SparseMatrix::from_entries(2, 3, &[(0, 0), (0, 1), (1, 1), (1, 2)]);
+        let g = TannerGraph::from_parity_check(&h);
+        assert_eq!(g.girth_from(&[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn six_cycle_girth() {
+        // Bits a,b,c and checks X,Y,Z forming a 6-cycle:
+        // X: a,b ; Y: b,c ; Z: c,a
+        let h = SparseMatrix::from_entries(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)]);
+        let g = TannerGraph::from_parity_check(&h);
+        assert_eq!(g.girth_from(&[0]), Some(6));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over codes, encoders, and decoders.
+
+use gf2::BitVec;
+use ldpc_core::codes::small::{demo_code, random_c2_like};
+use ldpc_core::decoder::kernels::{cn_scan, Scaling};
+use ldpc_core::{
+    Decoder, Encoder, FixedConfig, FixedDecoder, LlrQuantizer, MinSumConfig, MinSumDecoder,
+    SumProductDecoder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any message encodes to a word in the null space of H.
+    #[test]
+    fn encoder_always_produces_codewords(seed in 0u64..20, bits in prop::collection::vec(any::<bool>(), 0..64)) {
+        let code = random_c2_like(seed, 13, 4);
+        let enc = Encoder::new(&code).unwrap();
+        let mut msg = BitVec::zeros(enc.dimension());
+        for (i, &b) in bits.iter().enumerate() {
+            if i < msg.len() && b {
+                msg.set(i, true);
+            }
+        }
+        let cw = enc.encode(&msg).unwrap();
+        prop_assert!(code.is_codeword(&cw));
+        prop_assert_eq!(enc.extract_message(&cw), msg);
+    }
+
+    /// The fixed-point CN kernel agrees with a brute-force reference for
+    /// arbitrary degrees and values.
+    #[test]
+    fn cn_kernel_matches_bruteforce(
+        inputs in prop::collection::vec(-31i16..=31, 2..20),
+    ) {
+        let state = cn_scan(&inputs);
+        for i in 0..inputs.len() {
+            let mut mag = i16::MAX;
+            let mut neg = false;
+            for (j, &x) in inputs.iter().enumerate() {
+                if i != j {
+                    mag = mag.min(x.abs());
+                    neg ^= x < 0;
+                }
+            }
+            let expect = if neg { -mag } else { mag };
+            prop_assert_eq!(state.output(i as u32, Scaling::Unity), expect);
+            // Scaled outputs shrink magnitudes but keep signs.
+            let scaled = state.output(i as u32, Scaling::ThreeQuarters);
+            prop_assert!(scaled.abs() <= expect.abs());
+            if expect != 0 && scaled != 0 {
+                prop_assert_eq!(scaled.signum(), expect.signum());
+            }
+        }
+    }
+
+    /// Quantizer: monotone, symmetric, saturating.
+    #[test]
+    fn quantizer_properties(bits in 2u32..10, llr in -100.0f32..100.0, step in 0.1f32..2.0) {
+        let q = LlrQuantizer::new(bits, step);
+        let level = q.quantize(llr);
+        prop_assert!(level.abs() <= q.max_level());
+        prop_assert_eq!(q.quantize(-llr), -level);
+        // Monotonicity in a small neighbourhood.
+        prop_assert!(q.quantize(llr + step) >= level);
+    }
+
+    /// Decoding a noiseless codeword recovers it exactly, for every decoder.
+    #[test]
+    fn noiseless_codewords_are_fixed_points(
+        seed in 0u64..10,
+        msg_bits in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        let code = random_c2_like(seed, 13, 4);
+        let enc = Encoder::new(&code).unwrap();
+        let mut msg = BitVec::zeros(enc.dimension());
+        for (i, &b) in msg_bits.iter().enumerate() {
+            if i < msg.len() && b {
+                msg.set(i, true);
+            }
+        }
+        let cw = enc.encode(&msg).unwrap();
+        let llrs: Vec<f32> = (0..code.n())
+            .map(|i| if cw.get(i) { -4.0 } else { 4.0 })
+            .collect();
+        let mut spa = SumProductDecoder::new(code.clone());
+        let mut ms = MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0));
+        let mut fx = FixedDecoder::new(code.clone(), FixedConfig::default());
+        for out in [spa.decode(&llrs, 8), ms.decode(&llrs, 8), fx.decode(&llrs, 8)] {
+            prop_assert!(out.converged);
+            prop_assert_eq!(&out.hard_decision, &cw);
+        }
+    }
+
+    /// A converged decode always reports a zero syndrome.
+    #[test]
+    fn converged_implies_valid_codeword(
+        noise in prop::collection::vec(-2.0f32..4.0, 248),
+    ) {
+        let code = demo_code();
+        let mut dec = MinSumDecoder::new(code.clone(), MinSumConfig::normalized(1.25));
+        let out = dec.decode(&noise, 20);
+        if out.converged {
+            prop_assert!(code.is_codeword(&out.hard_decision));
+        }
+    }
+
+    /// Fixed-point decoding is invariant to LLR scaling that maps to the
+    /// same quantization levels.
+    #[test]
+    fn fixed_decoder_depends_only_on_levels(scale in 1.0f32..1.24) {
+        let code = demo_code();
+        let mut dec = FixedDecoder::new(code.clone(), FixedConfig::default());
+        // Levels of llr=2.0 at step 0.5 is 4; 2.0*scale stays level 4 while
+        // scale < 1.125 keeps round(4*scale)==4.
+        prop_assume!(scale < 1.12);
+        let a: Vec<f32> = (0..code.n()).map(|i| if i % 9 == 0 { -2.0 } else { 2.0 }).collect();
+        let b: Vec<f32> = a.iter().map(|x| x * scale).collect();
+        let ra = dec.decode(&a, 10);
+        let rb = dec.decode(&b, 10);
+        prop_assert_eq!(ra, rb);
+    }
+}

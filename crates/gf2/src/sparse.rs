@@ -1,0 +1,311 @@
+//! Row-major sparse binary matrices.
+
+use crate::{BitVec, DenseMatrix};
+use std::fmt;
+
+/// A sparse binary matrix stored as sorted column indices per row.
+///
+/// This is the natural representation of an LDPC parity-check matrix: the
+/// CCSDS C2 matrix is 1022×8176 with only 32 704 ones (row weight 32).
+///
+/// # Example
+///
+/// ```
+/// use gf2::SparseMatrix;
+///
+/// let h = SparseMatrix::from_entries(2, 4, &[(0, 0), (0, 1), (1, 2), (1, 3)]);
+/// assert_eq!(h.nnz(), 4);
+/// assert_eq!(h.row(0), &[0, 1]);
+/// assert_eq!(h.col_weights(), vec![1, 1, 1, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_idx: Vec<Vec<u32>>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from `(row, col)` entries; duplicates cancel (GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is out of range.
+    pub fn from_entries(rows: usize, cols: usize, entries: &[(usize, usize)]) -> Self {
+        let mut row_idx: Vec<Vec<u32>> = vec![Vec::new(); rows];
+        for &(r, c) in entries {
+            assert!(r < rows && c < cols, "entry ({r},{c}) out of range");
+            row_idx[r].push(c as u32);
+        }
+        for cols_of_row in &mut row_idx {
+            cols_of_row.sort_unstable();
+            // XOR semantics: a pair of equal indices cancels.
+            let mut out = Vec::with_capacity(cols_of_row.len());
+            let mut i = 0;
+            while i < cols_of_row.len() {
+                let mut count = 1;
+                while i + count < cols_of_row.len() && cols_of_row[i + count] == cols_of_row[i] {
+                    count += 1;
+                }
+                if count % 2 == 1 {
+                    out.push(cols_of_row[i]);
+                }
+                i += count;
+            }
+            *cols_of_row = out;
+        }
+        Self { rows, cols, row_idx }
+    }
+
+    /// Builds a matrix from per-row sorted column index lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row contains an out-of-range or duplicate column.
+    pub fn from_rows(cols: usize, rows: Vec<Vec<u32>>) -> Self {
+        for row in &rows {
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row indices must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "column index out of range");
+            }
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            row_idx: rows,
+        }
+    }
+
+    /// Converts a dense matrix to sparse form.
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let row_idx = m
+            .iter_rows()
+            .map(|row| row.iter_ones().map(|c| c as u32).collect())
+            .collect();
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_idx,
+        }
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, row) in self.row_idx.iter().enumerate() {
+            for &c in row {
+                m.set(r, c as usize, true);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored ones.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.iter().map(Vec::len).sum()
+    }
+
+    /// Sorted column indices of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.row_idx[r]
+    }
+
+    /// Weight (number of ones) of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_weight(&self, r: usize) -> usize {
+        self.row_idx[r].len()
+    }
+
+    /// Weight of every column.
+    pub fn col_weights(&self) -> Vec<usize> {
+        let mut w = vec![0usize; self.cols];
+        for row in &self.row_idx {
+            for &c in row {
+                w[c as usize] += 1;
+            }
+        }
+        w
+    }
+
+    /// Entry lookup (binary search within the row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.cols, "column {c} out of range");
+        self.row_idx[r].binary_search(&(c as u32)).is_ok()
+    }
+
+    /// Per-column adjacency: for each column, the sorted rows containing it.
+    pub fn col_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.cols];
+        for (r, row) in self.row_idx.iter().enumerate() {
+            for &c in row {
+                adj[c as usize].push(r as u32);
+            }
+        }
+        adj
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            row_idx: self.col_adjacency(),
+        }
+    }
+
+    /// Matrix–vector product `A·x` over GF(2).
+    ///
+    /// For a parity-check matrix this is the *syndrome* of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "SparseMatrix::mul_vec dimension mismatch");
+        let mut y = BitVec::zeros(self.rows);
+        for (r, row) in self.row_idx.iter().enumerate() {
+            let mut parity = false;
+            for &c in row {
+                parity ^= x.get(c as usize);
+            }
+            if parity {
+                y.set(r, true);
+            }
+        }
+        y
+    }
+
+    /// Returns `true` if `A·x = 0` (all parity checks satisfied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn in_nullspace(&self, x: &BitVec) -> bool {
+        assert_eq!(x.len(), self.cols, "SparseMatrix::in_nullspace dimension mismatch");
+        self.row_idx.iter().all(|row| {
+            let mut parity = false;
+            for &c in row {
+                parity ^= x.get(c as usize);
+            }
+            !parity
+        })
+    }
+
+    /// All `(row, col)` entries in row-major order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row_idx
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter().map(move |&c| (r, c as usize)))
+    }
+}
+
+impl fmt::Debug for SparseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SparseMatrix {}x{} ({} ones)",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SparseMatrix {
+        SparseMatrix::from_entries(3, 5, &[(0, 0), (0, 2), (1, 1), (1, 2), (2, 3), (2, 4)])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let m = example();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.row(0), &[0, 2]);
+        assert_eq!(m.row_weight(1), 2);
+        assert_eq!(m.col_weights(), vec![1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_entries_cancel() {
+        let m = SparseMatrix::from_entries(1, 3, &[(0, 1), (0, 1), (0, 2)]);
+        assert_eq!(m.row(0), &[2]);
+        let m2 = SparseMatrix::from_entries(1, 3, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(m2.row(0), &[1]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = example();
+        assert_eq!(SparseMatrix::from_dense(&m.to_dense()), m);
+    }
+
+    #[test]
+    fn get_uses_binary_search() {
+        let m = example();
+        assert!(m.get(0, 2));
+        assert!(!m.get(0, 1));
+    }
+
+    #[test]
+    fn transpose_flips_adjacency() {
+        let m = example();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.row(2), &[0, 1]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = example();
+        let d = m.to_dense();
+        for pattern in 0u32..32 {
+            let x = BitVec::from_bools(&(0..5).map(|i| pattern >> i & 1 == 1).collect::<Vec<_>>());
+            assert_eq!(m.mul_vec(&x), d.mul_vec(&x));
+            assert_eq!(m.in_nullspace(&x), d.mul_vec(&x).is_zero());
+        }
+    }
+
+    #[test]
+    fn iter_entries_row_major() {
+        let m = example();
+        let entries: Vec<_> = m.iter_entries().collect();
+        assert_eq!(entries, vec![(0, 0), (0, 2), (1, 1), (1, 2), (2, 3), (2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_rows_rejects_unsorted() {
+        SparseMatrix::from_rows(4, vec![vec![2, 1]]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the GF(2) substrate.
+
+use gf2::{BitVec, Circulant, DenseMatrix, SparseMatrix};
+use proptest::prelude::*;
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|b| BitVec::from_bools(&b))
+}
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(arb_bitvec(cols), rows).prop_map(DenseMatrix::from_rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_commutes(a in arb_bitvec(97), b in arb_bitvec(97)) {
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+    }
+
+    #[test]
+    fn xor_self_is_zero(a in arb_bitvec(97)) {
+        prop_assert!((&a ^ &a).is_zero());
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in arb_bitvec(64), b in arb_bitvec(64), c in arb_bitvec(64)) {
+        // <a + b, c> = <a, c> + <b, c>
+        let lhs = (&a ^ &b).dot(&c);
+        let rhs = a.dot(&c) ^ b.dot(&c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn rotate_preserves_weight(a in arb_bitvec(31), k in 0usize..100) {
+        prop_assert_eq!(a.rotate_right(k).count_ones(), a.count_ones());
+    }
+
+    #[test]
+    fn rotate_composes(a in arb_bitvec(31), j in 0usize..31, k in 0usize..31) {
+        prop_assert_eq!(a.rotate_right(j).rotate_right(k), a.rotate_right(j + k));
+    }
+
+    #[test]
+    fn rank_bounded_and_transpose_invariant(m in arb_matrix(8, 12)) {
+        let r = m.rank();
+        prop_assert!(r <= 8);
+        prop_assert_eq!(r, m.transpose().rank());
+    }
+
+    #[test]
+    fn nullspace_dimension_is_cols_minus_rank(m in arb_matrix(7, 10)) {
+        let basis = m.nullspace_basis();
+        prop_assert_eq!(basis.len(), 10 - m.rank());
+        for v in &basis {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in arb_matrix(5, 6),
+        b in arb_matrix(6, 4),
+        c in arb_matrix(4, 7),
+    ) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn matmul_transpose_contravariant(a in arb_matrix(5, 6), b in arb_matrix(6, 4)) {
+        prop_assert_eq!(a.mul(&b).transpose(), b.transpose().mul(&a.transpose()));
+    }
+
+    #[test]
+    fn mul_vec_distributes(a in arb_matrix(6, 9), x in arb_bitvec(9), y in arb_bitvec(9)) {
+        let lhs = a.mul_vec(&(&x ^ &y));
+        let rhs = &a.mul_vec(&x) ^ &a.mul_vec(&y);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn solve_consistent_systems(a in arb_matrix(6, 8), x in arb_bitvec(8)) {
+        let b = a.mul_vec(&x);
+        let sol = a.solve(&b);
+        prop_assert!(sol.is_some());
+        prop_assert_eq!(a.mul_vec(&sol.unwrap()), b);
+    }
+
+    #[test]
+    fn sparse_dense_agree(m in arb_matrix(6, 20), x in arb_bitvec(20)) {
+        let s = SparseMatrix::from_dense(&m);
+        prop_assert_eq!(s.mul_vec(&x), m.mul_vec(&x));
+        prop_assert_eq!(s.nnz(), m.count_ones());
+        prop_assert_eq!(s.to_dense(), m);
+    }
+
+    #[test]
+    fn circulant_algebra_matches_dense(
+        size in 2usize..12,
+        p1 in prop::collection::vec(0u32..12, 0..4),
+        p2 in prop::collection::vec(0u32..12, 0..4),
+    ) {
+        let p1: Vec<u32> = p1.into_iter().map(|p| p % size as u32).collect();
+        let p2: Vec<u32> = p2.into_iter().map(|p| p % size as u32).collect();
+        let a = Circulant::new(size, &p1);
+        let b = Circulant::new(size, &p2);
+        prop_assert_eq!(a.mul(&b).to_dense(), a.to_dense().mul(&b.to_dense()));
+        prop_assert_eq!(a.add(&b).to_dense(), {
+            let mut rows = Vec::new();
+            for r in 0..size {
+                rows.push(a.to_dense().row(r) ^ b.to_dense().row(r));
+            }
+            DenseMatrix::from_rows(rows)
+        });
+    }
+
+    #[test]
+    fn circulant_mul_commutes(
+        size in 2usize..12,
+        p1 in prop::collection::vec(0u32..12, 0..4),
+        p2 in prop::collection::vec(0u32..12, 0..4),
+    ) {
+        let p1: Vec<u32> = p1.into_iter().map(|p| p % size as u32).collect();
+        let p2: Vec<u32> = p2.into_iter().map(|p| p % size as u32).collect();
+        let a = Circulant::new(size, &p1);
+        let b = Circulant::new(size, &p2);
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn inverse_when_it_exists(m in arb_matrix(5, 5)) {
+        if let Some(inv) = m.inverse() {
+            prop_assert_eq!(m.mul(&inv), DenseMatrix::identity(5));
+            prop_assert_eq!(inv.mul(&m), DenseMatrix::identity(5));
+        } else {
+            prop_assert!(m.rank() < 5);
+        }
+    }
+}

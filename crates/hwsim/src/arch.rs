@@ -1,0 +1,304 @@
+//! Architecture configuration: parallelism, quantization, storage strategy.
+
+use ldpc_core::{FixedConfig, LdpcCode};
+use std::fmt;
+
+/// How check-to-bit messages are stored between phases (DESIGN.md §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageStorage {
+    /// Every edge message is stored individually at the message width.
+    /// Simple addressing; used by the low-cost decoder.
+    Direct,
+    /// Per check node only the compressed record (min1, min2, argmin,
+    /// signs) is stored, and bit-to-check messages are recomputed on the
+    /// fly from an a-posteriori memory. This is the "optimized storage of
+    /// the data" that lets the high-speed decoder pack eight frames in
+    /// ~1.3 Mb (paper Table 3).
+    CompressedCn,
+}
+
+/// Static dimensions of a code as seen by the architecture models.
+///
+/// Decoupled from [`LdpcCode`] so that resource/throughput models can be
+/// evaluated without expanding a matrix (e.g. for planner sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeDims {
+    /// Code length (bit nodes).
+    pub n: usize,
+    /// Parity-check rows (check nodes).
+    pub n_checks: usize,
+    /// Edges of the Tanner graph (messages per iteration).
+    pub edges: usize,
+    /// Information bits delivered per decoded frame.
+    pub info_bits: usize,
+    /// Largest check-node degree.
+    pub max_cn_degree: usize,
+    /// Largest bit-node degree.
+    pub max_bn_degree: usize,
+}
+
+impl CodeDims {
+    /// Dimensions of the CCSDS C2 (8176, 7156) code with its 7154-bit
+    /// information payload.
+    pub fn ccsds_c2() -> Self {
+        Self {
+            n: ldpc_core::codes::ccsds_c2::N,
+            n_checks: ldpc_core::codes::ccsds_c2::M_CHECKS,
+            edges: ldpc_core::codes::ccsds_c2::EDGES,
+            info_bits: ldpc_core::codes::ccsds_c2::K_INFO,
+            max_cn_degree: 32,
+            max_bn_degree: 4,
+        }
+    }
+
+    /// Extracts dimensions from a constructed code.
+    ///
+    /// `info_bits` is the transmitted payload size (for the C2 code, 7154
+    /// rather than the dimension 7156).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info_bits` exceeds the code length.
+    pub fn from_code(code: &LdpcCode, info_bits: usize) -> Self {
+        assert!(info_bits <= code.n(), "info bits cannot exceed code length");
+        Self {
+            n: code.n(),
+            n_checks: code.n_checks(),
+            edges: code.graph().n_edges(),
+            info_bits,
+            max_cn_degree: code.graph().max_cn_degree(),
+            max_bn_degree: code.graph().max_bn_degree(),
+        }
+    }
+}
+
+/// Configuration of one instance of the generic parallel architecture.
+///
+/// The genericity of the paper's §3 lives here: the same structure
+/// (controller + memories + processing block) is instantiated with
+/// different parallelism, frame packing, and storage strategy to produce
+/// the low-cost and high-speed decoders. Construct via
+/// [`ArchConfig::low_cost`] / [`ArchConfig::high_speed`] and customize
+/// with the `with_*` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Preset / report name.
+    pub name: String,
+    /// Check-node units per processing block (CNs per cycle per frame).
+    pub cn_parallelism: usize,
+    /// Bit-node units per processing block (BNs per cycle per frame).
+    pub bn_parallelism: usize,
+    /// Frames packed side-by-side in each memory word. Each BN/CN unit is
+    /// replicated per frame, so throughput scales linearly.
+    pub frames_per_word: usize,
+    /// System clock in MHz (the paper reports 200 MHz for both decoders).
+    pub clock_mhz: f64,
+    /// Fixed-point datapath parameters (widths, scaling). Early stopping
+    /// is disabled: the hardware runs a programmed iteration count.
+    pub fixed: FixedConfig,
+    /// Width of the a-posteriori memory (compressed storage only).
+    pub q_app: u32,
+    /// CN pipeline depth in cycles (drain cost per CN phase).
+    pub cn_pipeline: usize,
+    /// BN pipeline depth in cycles (drain cost per BN phase).
+    pub bn_pipeline: usize,
+    /// Message storage strategy.
+    pub storage: MessageStorage,
+    /// `true` if frame input/output transfers overlap decoding through
+    /// double-buffered I/O memories.
+    pub io_overlap: bool,
+}
+
+impl ArchConfig {
+    /// The paper's low-cost decoder: 2 CN / 16 BN units, direct storage,
+    /// 200 MHz (Cyclone II EP2C50F target, Tables 1–2).
+    pub fn low_cost() -> Self {
+        Self {
+            name: "low-cost".to_owned(),
+            cn_parallelism: 2,
+            bn_parallelism: 16,
+            frames_per_word: 1,
+            clock_mhz: 200.0,
+            fixed: FixedConfig::default().with_early_stop(false),
+            q_app: 8,
+            cn_pipeline: 39,
+            bn_pipeline: 39,
+            storage: MessageStorage::Direct,
+            io_overlap: true,
+        }
+    }
+
+    /// The paper's high-speed decoder: eight processing blocks fed by
+    /// 8-frame memory words with compressed check-node storage, 200 MHz
+    /// (Stratix II EP2S180 target, Tables 1 and 3).
+    pub fn high_speed() -> Self {
+        Self {
+            name: "high-speed".to_owned(),
+            cn_parallelism: 2,
+            bn_parallelism: 16,
+            frames_per_word: 8,
+            clock_mhz: 200.0,
+            fixed: FixedConfig::default().with_early_stop(false),
+            q_app: 8,
+            cn_pipeline: 39,
+            bn_pipeline: 39,
+            storage: MessageStorage::CompressedCn,
+            io_overlap: true,
+        }
+    }
+
+    /// Renames the configuration (for reports).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the clock frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_mhz` is not positive.
+    pub fn with_clock_mhz(mut self, clock_mhz: f64) -> Self {
+        assert!(clock_mhz > 0.0, "clock must be positive");
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets CN/BN parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    pub fn with_parallelism(mut self, cn: usize, bn: usize) -> Self {
+        assert!(cn > 0 && bn > 0, "parallelism must be positive");
+        self.cn_parallelism = cn;
+        self.bn_parallelism = bn;
+        self
+    }
+
+    /// Sets the number of frames packed per memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn with_frames_per_word(mut self, frames: usize) -> Self {
+        assert!(frames > 0, "frame packing must be positive");
+        self.frames_per_word = frames;
+        self
+    }
+
+    /// Sets the storage strategy.
+    pub fn with_storage(mut self, storage: MessageStorage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the fixed-point datapath configuration. Early stopping is
+    /// forced off to match the fixed-latency hardware.
+    pub fn with_fixed(mut self, fixed: FixedConfig) -> Self {
+        self.fixed = fixed.with_early_stop(false);
+        self
+    }
+
+    /// Per-frame-group processing blocks: one per packed frame.
+    pub fn processing_blocks(&self) -> usize {
+        self.frames_per_word
+    }
+
+    /// Total CN units across processing blocks.
+    pub fn total_cn_units(&self) -> usize {
+        self.cn_parallelism * self.frames_per_word
+    }
+
+    /// Total BN units across processing blocks.
+    pub fn total_bn_units(&self) -> usize {
+        self.bn_parallelism * self.frames_per_word
+    }
+}
+
+impl fmt::Display for ArchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} CN x {} BN units, {} frame(s)/word, {} MHz, {:?} storage",
+            self.name,
+            self.cn_parallelism,
+            self.bn_parallelism,
+            self.frames_per_word,
+            self.clock_mhz,
+            self.storage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_core::codes::small::demo_code;
+
+    #[test]
+    fn presets_match_paper_section_3() {
+        let lc = ArchConfig::low_cost();
+        // "we process 16 BN (/2 CN) concurrently"
+        assert_eq!(lc.cn_parallelism, 2);
+        assert_eq!(lc.bn_parallelism, 16);
+        assert_eq!(lc.frames_per_word, 1);
+        assert_eq!(lc.storage, MessageStorage::Direct);
+        let hs = ArchConfig::high_speed();
+        // high-speed = 8 frames in parallel with compressed storage
+        assert_eq!(hs.frames_per_word, 8);
+        assert_eq!(hs.storage, MessageStorage::CompressedCn);
+        assert_eq!(hs.total_bn_units(), 8 * 16);
+        assert_eq!(hs.total_cn_units(), 8 * 2);
+    }
+
+    #[test]
+    fn both_presets_disable_early_stop() {
+        assert!(!ArchConfig::low_cost().fixed.early_stop);
+        assert!(!ArchConfig::high_speed().fixed.early_stop);
+        // with_fixed re-imposes the invariant.
+        let cfg = ArchConfig::low_cost().with_fixed(ldpc_core::FixedConfig::default());
+        assert!(!cfg.fixed.early_stop);
+    }
+
+    #[test]
+    fn ccsds_dims_match_standard() {
+        let d = CodeDims::ccsds_c2();
+        assert_eq!(d.n, 8176);
+        assert_eq!(d.n_checks, 1022);
+        assert_eq!(d.edges, 32_704);
+        assert_eq!(d.info_bits, 7154);
+        assert_eq!(d.max_cn_degree, 32);
+    }
+
+    #[test]
+    fn dims_from_code_agree_with_graph() {
+        let code = demo_code();
+        let d = CodeDims::from_code(&code, 180);
+        assert_eq!(d.n, 248);
+        assert_eq!(d.n_checks, 62);
+        assert_eq!(d.edges, 992);
+        assert_eq!(d.max_cn_degree, 16);
+        assert_eq!(d.max_bn_degree, 4);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = ArchConfig::low_cost()
+            .with_name("custom")
+            .with_clock_mhz(150.0)
+            .with_parallelism(4, 32)
+            .with_frames_per_word(2)
+            .with_storage(MessageStorage::CompressedCn);
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.clock_mhz, 150.0);
+        assert_eq!(cfg.total_cn_units(), 8);
+        assert!(cfg.to_string().contains("custom"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_parallelism() {
+        ArchConfig::low_cost().with_parallelism(0, 16);
+    }
+}

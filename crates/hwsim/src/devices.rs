@@ -1,0 +1,171 @@
+//! FPGA device capacity database and utilization reporting.
+
+use crate::ResourceEstimate;
+use std::fmt;
+
+/// Capacity summary of an FPGA device, from vendor datasheets.
+///
+/// Altera Cyclone II counts logic elements (LEs); Stratix II counts ALUTs.
+/// Both expose one register per logic cell, which is the convention the
+/// paper's utilization percentages follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaDevice {
+    /// Device name (e.g. `"EP2C50F"`).
+    pub name: &'static str,
+    /// Device family.
+    pub family: &'static str,
+    /// Logic cells (LEs or ALUTs).
+    pub logic_cells: u64,
+    /// Registers.
+    pub registers: u64,
+    /// Total embedded RAM bits.
+    pub memory_bits: u64,
+}
+
+/// Altera Cyclone II EP2C50: 50 528 LEs, 594 432 RAM bits (datasheet).
+/// The paper's low-cost decoder target (Table 2).
+pub const CYCLONE_II_EP2C50: FpgaDevice = FpgaDevice {
+    name: "EP2C50F",
+    family: "Cyclone II",
+    logic_cells: 50_528,
+    registers: 50_528,
+    memory_bits: 594_432,
+};
+
+/// Altera Cyclone II EP2C35: 33 216 LEs, 483 840 RAM bits (datasheet).
+pub const CYCLONE_II_EP2C35: FpgaDevice = FpgaDevice {
+    name: "EP2C35F",
+    family: "Cyclone II",
+    logic_cells: 33_216,
+    registers: 33_216,
+    memory_bits: 483_840,
+};
+
+/// Altera Stratix II EP2S180: 143 520 ALUTs, 9 383 040 RAM bits
+/// (datasheet; M512 + M4K + M-RAM). The paper's high-speed decoder target
+/// (Table 3). Note the paper's 20 % memory utilization implies a smaller
+/// denominator (likely excluding M-RAM blocks); we report against the
+/// full datasheet capacity and record the difference in EXPERIMENTS.md.
+pub const STRATIX_II_EP2S180: FpgaDevice = FpgaDevice {
+    name: "EP2S180",
+    family: "Stratix II",
+    logic_cells: 143_520,
+    registers: 143_520,
+    memory_bits: 9_383_040,
+};
+
+/// Altera Stratix II EP2S60: 48 352 ALUTs, 2 544 192 RAM bits (datasheet).
+pub const STRATIX_II_EP2S60: FpgaDevice = FpgaDevice {
+    name: "EP2S60",
+    family: "Stratix II",
+    logic_cells: 48_352,
+    registers: 48_352,
+    memory_bits: 2_544_192,
+};
+
+/// All devices known to the planner, smallest first per family.
+pub fn devices() -> &'static [FpgaDevice] {
+    &[
+        CYCLONE_II_EP2C35,
+        CYCLONE_II_EP2C50,
+        STRATIX_II_EP2S60,
+        STRATIX_II_EP2S180,
+    ]
+}
+
+/// Percentage utilization of one device by one resource estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Logic-cell (ALUT/LE) utilization in percent.
+    pub logic_pct: f64,
+    /// Register utilization in percent.
+    pub register_pct: f64,
+    /// Embedded-memory utilization in percent.
+    pub memory_pct: f64,
+}
+
+impl Utilization {
+    /// `true` if every resource fits (≤ 100 %).
+    pub fn fits(&self) -> bool {
+        self.logic_pct <= 100.0 && self.register_pct <= 100.0 && self.memory_pct <= 100.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "logic {:.0}%, registers {:.0}%, memory {:.0}%",
+            self.logic_pct, self.register_pct, self.memory_pct
+        )
+    }
+}
+
+impl FpgaDevice {
+    /// Utilization of this device by the given estimate.
+    pub fn utilization(&self, estimate: &ResourceEstimate) -> Utilization {
+        Utilization {
+            logic_pct: 100.0 * estimate.aluts as f64 / self.logic_cells as f64,
+            register_pct: 100.0 * estimate.registers as f64 / self.registers as f64,
+            memory_pct: 100.0 * estimate.memory_bits as f64 / self.memory_bits as f64,
+        }
+    }
+
+    /// Returns `true` if the estimate fits on this device.
+    pub fn fits(&self, estimate: &ResourceEstimate) -> bool {
+        self.utilization(estimate).fits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_is_sane() {
+        for d in devices() {
+            assert!(d.logic_cells > 0);
+            assert!(d.memory_bits > d.logic_cells as u64);
+        }
+        assert_eq!(CYCLONE_II_EP2C50.memory_bits, 594_432);
+        assert_eq!(STRATIX_II_EP2S180.logic_cells, 143_520);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let est = ResourceEstimate {
+            aluts: 25_264,
+            registers: 12_632,
+            memory_bits: 297_216,
+        };
+        let u = CYCLONE_II_EP2C50.utilization(&est);
+        assert!((u.logic_pct - 50.0).abs() < 1e-9);
+        assert!((u.register_pct - 25.0).abs() < 1e-9);
+        assert!((u.memory_pct - 50.0).abs() < 1e-9);
+        assert!(u.fits());
+        assert!(CYCLONE_II_EP2C50.fits(&est));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let est = ResourceEstimate {
+            aluts: 60_000,
+            registers: 100,
+            memory_bits: 100,
+        };
+        assert!(!CYCLONE_II_EP2C50.fits(&est));
+        assert!(STRATIX_II_EP2S180.fits(&est));
+    }
+
+    #[test]
+    fn display_formats() {
+        let est = ResourceEstimate {
+            aluts: 8_000,
+            registers: 6_000,
+            memory_bits: 286_160,
+        };
+        let text = CYCLONE_II_EP2C50.utilization(&est).to_string();
+        assert!(text.contains("logic"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,63 @@
+//! Hardware-architecture model of the generic parallel CCSDS LDPC decoder.
+//!
+//! This crate reproduces the *architecture* contribution of the paper
+//! (Fig. 3 and §3–4): a controller, input/output memories, multi-block
+//! message memories, and a processing block containing parallel check-node
+//! (CN) and bit-node (BN) units. Two instances are provided as presets:
+//!
+//! * [`ArchConfig::low_cost`] — 2 CN / 16 BN units, one frame per memory
+//!   word, **direct** message storage. Mapped on a Cyclone II EP2C50F in
+//!   the paper (Table 2), 130 Mbps at 10 iterations.
+//! * [`ArchConfig::high_speed`] — eight frames packed per memory word with
+//!   eight processing blocks and **compressed check-node storage** (the
+//!   "optimized storage of the data" of the abstract). Mapped on a
+//!   Stratix II EP2S180 (Table 3), 1040 Mbps at 10 iterations.
+//!
+//! Three models are layered on one configuration type:
+//!
+//! * [`ThroughputModel`] — cycle counts and output data rates (Table 1);
+//! * [`MemoryPlan`] and [`ResourceEstimate`] — memory bits (exact
+//!   arithmetic from the storage layout) and logic cells (calibrated
+//!   constants, see DESIGN.md §3) with an FPGA [`devices`] database
+//!   (Tables 2 and 3);
+//! * [`ArchSimulator`] — a cycle-driven simulation of the schedule that
+//!   drives the *same* fixed-point kernels as
+//!   [`ldpc_core::FixedDecoder`], producing bit-identical results while
+//!   counting cycles and memory traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use ldpc_hwsim::{ArchConfig, CodeDims, ThroughputModel};
+//!
+//! let model = ThroughputModel::new(ArchConfig::low_cost(), CodeDims::ccsds_c2());
+//! // Paper Table 1: 130 Mbps at 10 iterations and 200 MHz.
+//! let mbps = model.info_throughput_mbps(10);
+//! assert!((mbps - 130.0).abs() < 2.0, "got {mbps}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod decoder_sim;
+mod devices;
+mod memory;
+mod planner;
+mod power;
+mod report;
+mod resources;
+mod schedule;
+mod throughput;
+
+pub use arch::{ArchConfig, CodeDims, MessageStorage};
+pub use decoder_sim::{ArchSimulator, SimOutcome};
+pub use devices::{devices, FpgaDevice, Utilization, CYCLONE_II_EP2C35, CYCLONE_II_EP2C50,
+    STRATIX_II_EP2S180, STRATIX_II_EP2S60};
+pub use memory::{MemoryBank, MemoryPlan};
+pub use planner::{plan, PlannerChoice, PlannerRequest};
+pub use power::{estimate_power, estimate_power_via_simulation, PowerEstimate};
+pub use report::render_table;
+pub use resources::ResourceEstimate;
+pub use schedule::{AddressRun, MessageBankLayout, WordAccess};
+pub use throughput::ThroughputModel;

@@ -1,0 +1,184 @@
+//! Memory planning: exact bit budgets of the architecture's storage layout.
+
+use crate::{ArchConfig, CodeDims, MessageStorage};
+use std::fmt;
+
+/// One logical memory block of the architecture (paper Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryBank {
+    /// Role of the bank (e.g. `"message memory"`).
+    pub name: String,
+    /// Number of addressable words.
+    pub words: u64,
+    /// Width of each word in bits (scales with frames per word).
+    pub width_bits: u64,
+}
+
+impl MemoryBank {
+    /// Total bits of the bank.
+    pub fn bits(&self) -> u64 {
+        self.words * self.width_bits
+    }
+}
+
+/// The complete memory layout of one architecture configuration.
+///
+/// Memory bits are *exact arithmetic* from the storage layout, not
+/// calibration: the low-cost plan reproduces the paper's ≈290 k bits and
+/// the high-speed plan its ≈1300 kb (see DESIGN.md §5.4 and the tests
+/// below).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPlan {
+    banks: Vec<MemoryBank>,
+}
+
+impl MemoryPlan {
+    /// Plans the memories for a configuration and code.
+    pub fn new(config: &ArchConfig, dims: &CodeDims) -> Self {
+        let f = config.frames_per_word as u64;
+        let n = dims.n as u64;
+        let checks = dims.n_checks as u64;
+        let edges = dims.edges as u64;
+        let q_msg = u64::from(config.fixed.q_msg);
+        let q_ch = u64::from(config.fixed.q_ch);
+        let q_app = u64::from(config.q_app);
+        let mut banks = Vec::new();
+        match config.storage {
+            MessageStorage::Direct => {
+                // Every edge message stored at full width.
+                banks.push(MemoryBank {
+                    name: "message memory".to_owned(),
+                    words: edges,
+                    width_bits: q_msg * f,
+                });
+                // Double-buffered input LLRs so loading overlaps decoding.
+                let input_buffers = if config.io_overlap { 2 } else { 1 };
+                banks.push(MemoryBank {
+                    name: "input LLR memory".to_owned(),
+                    words: input_buffers * n,
+                    width_bits: q_ch * f,
+                });
+                banks.push(MemoryBank {
+                    name: "output buffer".to_owned(),
+                    words: n,
+                    width_bits: f,
+                });
+            }
+            MessageStorage::CompressedCn => {
+                // Compressed CN record: two magnitudes, an argmin index and
+                // one sign bit per edge of the check.
+                let mag_bits = q_msg - 1;
+                let argmin_bits = (dims.max_cn_degree as u64).next_power_of_two().trailing_zeros() as u64;
+                let record = 2 * mag_bits + argmin_bits + dims.max_cn_degree as u64;
+                banks.push(MemoryBank {
+                    name: "check state memory".to_owned(),
+                    words: checks,
+                    width_bits: record * f,
+                });
+                // A-posteriori memory from which bit-to-check messages are
+                // recomputed on the fly.
+                banks.push(MemoryBank {
+                    name: "posterior memory".to_owned(),
+                    words: n,
+                    width_bits: q_app * f,
+                });
+                // Single-buffered input: the posterior memory doubles as
+                // the landing buffer during load.
+                banks.push(MemoryBank {
+                    name: "input LLR memory".to_owned(),
+                    words: n,
+                    width_bits: q_ch * f,
+                });
+                banks.push(MemoryBank {
+                    name: "output buffer".to_owned(),
+                    words: n,
+                    width_bits: f,
+                });
+            }
+        }
+        Self { banks }
+    }
+
+    /// The individual banks.
+    pub fn banks(&self) -> &[MemoryBank] {
+        &self.banks
+    }
+
+    /// Total bits across all banks.
+    pub fn total_bits(&self) -> u64 {
+        self.banks.iter().map(MemoryBank::bits).sum()
+    }
+}
+
+impl fmt::Display for MemoryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.banks {
+            writeln!(f, "{:>22}: {:>7} x {:>3} b = {:>9} bits", b.name, b.words, b.width_bits, b.bits())?;
+        }
+        write!(f, "{:>22}: {:>21} bits", "total", self.total_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchConfig;
+
+    #[test]
+    fn low_cost_matches_paper_table_2_memory() {
+        // Direct storage, C2 code:
+        //   32704 x 6 + 2 x 8176 x 5 + 8176 = 286 160 bits ~ paper's "290k".
+        let plan = MemoryPlan::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
+        assert_eq!(plan.total_bits(), 286_160);
+        // ~50% of the EP2C50's 594 432 bits, as Table 2 reports.
+        let pct = 100.0 * plan.total_bits() as f64 / 594_432.0;
+        assert!((pct - 50.0).abs() < 3.0, "memory {pct}%");
+    }
+
+    #[test]
+    fn high_speed_matches_paper_table_3_memory() {
+        // Compressed storage, 8 frames:
+        //   CN state: 1022 x (2*5 + 5 + 32) x 8 = 384 272
+        //   posterior: 8176 x 8 x 8          = 523 264
+        //   input:     8176 x 5 x 8          = 327 040
+        //   output:    8176 x 8              =  65 408
+        //   total                            = 1 299 984 ~ paper's "1300kb".
+        let plan = MemoryPlan::new(&ArchConfig::high_speed(), &CodeDims::ccsds_c2());
+        assert_eq!(plan.total_bits(), 1_299_984);
+    }
+
+    #[test]
+    fn compressed_storage_beats_direct_at_high_frame_counts() {
+        let dims = CodeDims::ccsds_c2();
+        let direct = MemoryPlan::new(
+            &ArchConfig::high_speed().with_storage(MessageStorage::Direct),
+            &dims,
+        );
+        let compressed = MemoryPlan::new(&ArchConfig::high_speed(), &dims);
+        assert!(
+            compressed.total_bits() < direct.total_bits(),
+            "compressed {} >= direct {}",
+            compressed.total_bits(),
+            direct.total_bits()
+        );
+    }
+
+    #[test]
+    fn memory_scales_linearly_with_frames() {
+        let dims = CodeDims::ccsds_c2();
+        let one = MemoryPlan::new(&ArchConfig::high_speed().with_frames_per_word(1), &dims);
+        let four = MemoryPlan::new(&ArchConfig::high_speed().with_frames_per_word(4), &dims);
+        assert_eq!(4 * one.total_bits(), four.total_bits());
+    }
+
+    #[test]
+    fn banks_enumerate_fig3_blocks() {
+        let plan = MemoryPlan::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
+        let names: Vec<&str> = plan.banks().iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"message memory"));
+        assert!(names.contains(&"input LLR memory"));
+        assert!(names.contains(&"output buffer"));
+        let text = plan.to_string();
+        assert!(text.contains("total"));
+    }
+}

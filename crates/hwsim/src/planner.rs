@@ -1,0 +1,179 @@
+//! Design-space exploration: pick the cheapest architecture instance that
+//! meets a throughput requirement on the smallest device.
+//!
+//! This operationalizes the paper's genericity claim (§3): the same base
+//! architecture scales from the low-cost to the high-speed decoder by
+//! turning the parallelism / frame-packing / storage knobs. The planner
+//! sweeps those knobs and returns the Pareto choice for a requirement.
+
+use crate::{devices, ArchConfig, CodeDims, FpgaDevice, MessageStorage, ResourceEstimate, ThroughputModel};
+
+/// A throughput requirement to plan for.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerRequest {
+    /// Minimum information throughput in Mbps.
+    pub min_info_mbps: f64,
+    /// Decoding iterations the link budget requires.
+    pub iterations: u32,
+    /// System clock in MHz.
+    pub clock_mhz: f64,
+}
+
+/// The planner's selected design point.
+#[derive(Debug, Clone)]
+pub struct PlannerChoice {
+    /// The selected architecture configuration.
+    pub config: ArchConfig,
+    /// Its resource estimate.
+    pub estimate: ResourceEstimate,
+    /// The smallest database device it fits on.
+    pub device: FpgaDevice,
+    /// The information throughput it achieves.
+    pub info_mbps: f64,
+}
+
+/// Candidate knob settings swept by [`plan`].
+fn candidates() -> impl Iterator<Item = (usize, usize, usize, MessageStorage)> {
+    let cn = [1usize, 2, 4, 8];
+    let bn = [8usize, 16, 32, 64];
+    let frames = [1usize, 2, 4, 8, 16];
+    let storage = [MessageStorage::Direct, MessageStorage::CompressedCn];
+    cn.into_iter().flat_map(move |c| {
+        bn.into_iter().flat_map(move |b| {
+            frames
+                .into_iter()
+                .flat_map(move |f| storage.into_iter().map(move |s| (c, b, f, s)))
+        })
+    })
+}
+
+/// Finds the cheapest configuration meeting `request` on the given code.
+///
+/// "Cheapest" means: smallest fitting device first (by logic-cell count),
+/// then fewest ALUTs, then fewest memory bits. Returns `None` if no swept
+/// configuration meets the requirement on any database device.
+pub fn plan(request: &PlannerRequest, dims: &CodeDims) -> Option<PlannerChoice> {
+    let mut best: Option<PlannerChoice> = None;
+    for (cn, bn, frames, storage) in candidates() {
+        let config = ArchConfig::low_cost()
+            .with_name(format!("planned cn={cn} bn={bn} F={frames} {storage:?}"))
+            .with_parallelism(cn, bn)
+            .with_frames_per_word(frames)
+            .with_storage(storage)
+            .with_clock_mhz(request.clock_mhz);
+        let model = ThroughputModel::new(config.clone(), *dims);
+        let info_mbps = model.info_throughput_mbps(request.iterations);
+        if info_mbps < request.min_info_mbps {
+            continue;
+        }
+        let estimate = ResourceEstimate::new(&config, dims);
+        let Some(device) = devices().iter().find(|d| d.fits(&estimate)) else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (device.logic_cells, estimate.aluts, estimate.memory_bits)
+                    < (b.device.logic_cells, b.estimate.aluts, b.estimate.memory_bits)
+            }
+        };
+        if better {
+            best = Some(PlannerChoice {
+                config,
+                estimate,
+                device: *device,
+                info_mbps,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2() -> CodeDims {
+        CodeDims::ccsds_c2()
+    }
+
+    #[test]
+    fn modest_requirement_fits_a_small_device() {
+        // The paper's low-cost scenario: 70 Mbps at 18 iterations.
+        let choice = plan(
+            &PlannerRequest {
+                min_info_mbps: 70.0,
+                iterations: 18,
+                clock_mhz: 200.0,
+            },
+            &c2(),
+        )
+        .expect("70 Mbps must be plannable");
+        assert!(choice.info_mbps >= 70.0);
+        // Fits on a Cyclone II class device.
+        assert!(choice.device.logic_cells <= 50_528, "device {}", choice.device.name);
+    }
+
+    #[test]
+    fn high_speed_requirement_needs_a_big_device() {
+        // The paper's high-speed scenario: 560 Mbps at 18 iterations.
+        let choice = plan(
+            &PlannerRequest {
+                min_info_mbps: 560.0,
+                iterations: 18,
+                clock_mhz: 200.0,
+            },
+            &c2(),
+        )
+        .expect("560 Mbps must be plannable");
+        assert!(choice.info_mbps >= 560.0);
+        assert!(choice.config.frames_per_word >= 4, "needs frame packing");
+    }
+
+    #[test]
+    fn impossible_requirement_returns_none() {
+        let choice = plan(
+            &PlannerRequest {
+                min_info_mbps: 1e6,
+                iterations: 50,
+                clock_mhz: 200.0,
+            },
+            &c2(),
+        );
+        assert!(choice.is_none());
+    }
+
+    #[test]
+    fn tighter_requirement_never_selects_smaller_design() {
+        let loose = plan(
+            &PlannerRequest { min_info_mbps: 30.0, iterations: 18, clock_mhz: 200.0 },
+            &c2(),
+        )
+        .unwrap();
+        let tight = plan(
+            &PlannerRequest { min_info_mbps: 300.0, iterations: 18, clock_mhz: 200.0 },
+            &c2(),
+        )
+        .unwrap();
+        assert!(tight.estimate.aluts >= loose.estimate.aluts);
+    }
+
+    #[test]
+    fn planner_respects_clock() {
+        // Halving the clock halves throughput: a plan feasible at 200 MHz
+        // for X Mbps needs more parallelism at 100 MHz.
+        let fast = plan(
+            &PlannerRequest { min_info_mbps: 100.0, iterations: 18, clock_mhz: 200.0 },
+            &c2(),
+        )
+        .unwrap();
+        let slow = plan(
+            &PlannerRequest { min_info_mbps: 100.0, iterations: 18, clock_mhz: 100.0 },
+            &c2(),
+        )
+        .unwrap();
+        let fast_tp = fast.info_mbps / 200.0;
+        let slow_tp = slow.info_mbps / 100.0;
+        assert!(slow_tp >= fast_tp * 0.99, "slow plan must compensate with parallelism");
+    }
+}

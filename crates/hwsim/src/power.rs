@@ -1,0 +1,158 @@
+//! Order-of-magnitude dynamic power model.
+//!
+//! The paper reports no power figures, but a decoder IP data sheet needs
+//! them; this model makes the architecture's power *trends* visible
+//! (storage compression trades memory energy for recompute logic, frame
+//! packing amortizes the controller, more iterations burn linearly more
+//! energy per bit). Constants are representative of a 90 nm FPGA
+//! (Cyclone II / Stratix II era) and are documented, not calibrated —
+//! treat absolute milliwatts as indicative only.
+
+use crate::{ArchSimulator, ArchConfig, CodeDims, ResourceEstimate};
+
+/// Dynamic energy per memory-word access, in picojoules (90 nm block RAM,
+/// tens of bits per word).
+const PJ_PER_MEM_ACCESS: f64 = 5.0;
+/// Dynamic power per ALUT at full toggle, in microwatts per MHz.
+const UW_PER_ALUT_MHZ: f64 = 0.025;
+/// Activity factor of decoder logic (fraction of cycles a unit toggles).
+const LOGIC_ACTIVITY: f64 = 0.25;
+/// Static leakage per logic cell, in microwatts.
+const UW_STATIC_PER_ALUT: f64 = 0.8;
+
+/// Estimated power of one architecture instance at steady-state decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Dynamic logic power in milliwatts.
+    pub logic_dynamic_mw: f64,
+    /// Dynamic memory-access power in milliwatts.
+    pub memory_dynamic_mw: f64,
+    /// Static (leakage) power in milliwatts.
+    pub static_mw: f64,
+}
+
+impl PowerEstimate {
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.logic_dynamic_mw + self.memory_dynamic_mw + self.static_mw
+    }
+
+    /// Energy efficiency in nanojoules per decoded information bit at the
+    /// given throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `info_mbps` is not positive.
+    pub fn nj_per_info_bit(&self, info_mbps: f64) -> f64 {
+        assert!(info_mbps > 0.0, "throughput must be positive");
+        // mW / Mbps = nJ/bit.
+        self.total_mw() / info_mbps
+    }
+}
+
+/// Estimates steady-state power from the resource estimate and the memory
+/// traffic of a simulated decode.
+///
+/// `memory_accesses_per_frame` is `memory_reads + memory_writes` from an
+/// [`ArchSimulator`] run; `frames_per_second` comes from the throughput
+/// model.
+pub fn estimate_power(
+    config: &ArchConfig,
+    dims: &CodeDims,
+    memory_accesses_per_frame: u64,
+    frames_per_second: f64,
+) -> PowerEstimate {
+    let est = ResourceEstimate::new(config, dims);
+    let logic_dynamic_mw =
+        est.aluts as f64 * UW_PER_ALUT_MHZ * config.clock_mhz * LOGIC_ACTIVITY / 1_000.0;
+    // Memory words carry all packed frames, so per-frame-group accesses
+    // are shared across frames_per_word frames.
+    let accesses_per_second =
+        memory_accesses_per_frame as f64 * frames_per_second / config.frames_per_word as f64;
+    let memory_dynamic_mw = accesses_per_second * PJ_PER_MEM_ACCESS * 1e-12 * 1e3;
+    let static_mw = est.aluts as f64 * UW_STATIC_PER_ALUT / 1_000.0;
+    PowerEstimate {
+        logic_dynamic_mw,
+        memory_dynamic_mw,
+        static_mw,
+    }
+}
+
+/// Convenience: simulate one frame to count memory traffic, then estimate
+/// power at the modeled throughput.
+pub fn estimate_power_via_simulation(
+    sim: &ArchSimulator,
+    iterations: u32,
+    info_bits: usize,
+) -> PowerEstimate {
+    let code = sim.code();
+    let ch_max = sim.config().fixed.channel_quantizer().max_level();
+    let frame = vec![ch_max; code.n()];
+    let outcome = sim.decode(&[frame], iterations);
+    let model = sim.throughput_model(info_bits);
+    estimate_power(
+        sim.config(),
+        &CodeDims::from_code(code, info_bits),
+        outcome.memory_reads + outcome.memory_writes,
+        model.frames_per_second(iterations),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, ArchSimulator};
+    use ldpc_core::codes::small::demo_code;
+
+    #[test]
+    fn power_components_positive_and_total_consistent() {
+        let code = demo_code();
+        let sim = ArchSimulator::new(ArchConfig::low_cost(), code);
+        let p = estimate_power_via_simulation(&sim, 18, 180);
+        assert!(p.logic_dynamic_mw > 0.0);
+        assert!(p.memory_dynamic_mw > 0.0);
+        assert!(p.static_mw > 0.0);
+        let total = p.logic_dynamic_mw + p.memory_dynamic_mw + p.static_mw;
+        assert!((p.total_mw() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_speed_burns_more_power_but_less_energy_per_bit() {
+        let code = demo_code();
+        let info = 180usize;
+        let lc_sim = ArchSimulator::new(ArchConfig::low_cost(), code.clone());
+        let hs_sim = ArchSimulator::new(ArchConfig::high_speed(), code.clone());
+        let lc = estimate_power_via_simulation(&lc_sim, 18, info);
+        let hs = estimate_power_via_simulation(&hs_sim, 18, info);
+        assert!(hs.total_mw() > lc.total_mw(), "more hardware -> more watts");
+        let lc_tp = lc_sim.throughput_model(info).info_throughput_mbps(18);
+        let hs_tp = hs_sim.throughput_model(info).info_throughput_mbps(18);
+        assert!(
+            hs.nj_per_info_bit(hs_tp) < lc.nj_per_info_bit(lc_tp),
+            "packing amortizes energy per bit"
+        );
+    }
+
+    #[test]
+    fn more_iterations_cost_linearly_more_memory_energy() {
+        let code = demo_code();
+        let sim = ArchSimulator::new(ArchConfig::low_cost(), code);
+        let p18 = estimate_power_via_simulation(&sim, 18, 180);
+        let p36 = estimate_power_via_simulation(&sim, 36, 180);
+        // Accesses double but throughput halves: memory *power* constant,
+        // energy per bit doubles.
+        let ratio = p36.memory_dynamic_mw / p18.memory_dynamic_mw;
+        assert!((ratio - 1.0).abs() < 0.1, "memory power ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        let p = PowerEstimate {
+            logic_dynamic_mw: 1.0,
+            memory_dynamic_mw: 1.0,
+            static_mw: 1.0,
+        };
+        let _ = p.nj_per_info_bit(0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Plain-text table rendering for benchmark and planner reports.
+
+/// Renders an aligned ASCII table with a title, header row, and data rows.
+///
+/// Columns are sized to their widest cell; all cells are left-aligned
+/// except obviously numeric ones are kept as given (callers format
+/// numbers themselves).
+///
+/// # Example
+///
+/// ```
+/// let t = ldpc_hwsim::render_table(
+///     "Table 1",
+///     &["iterations", "Mbps"],
+///     &[vec!["10".into(), "130".into()], vec!["18".into(), "72".into()]],
+/// );
+/// assert!(t.contains("Table 1"));
+/// assert!(t.contains("130"));
+/// ```
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut line = String::new();
+    #[allow(clippy::needless_range_loop)]
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("| {:w$} ", h, w = widths[i]));
+    }
+    line.push('|');
+    out.push_str(&line);
+    out.push('\n');
+    let mut sep = String::new();
+    for w in &widths {
+        sep.push_str(&format!("|{}", "-".repeat(w + 2)));
+    }
+    sep.push('|');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..cols {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("| {:w$} ", cell, w = widths[i]));
+        }
+        line.push('|');
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["wide-cell".into(), "x".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and data rows have equal length.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert!(lines[1].starts_with("| a"));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let t = render_table("T", &["a", "b"], &[vec!["1".into()]]);
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let t = render_table("Empty", &["x"], &[]);
+        assert!(t.contains("Empty"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! FPGA logic-resource estimation (Tables 2 and 3).
+//!
+//! Memory bits come from [`MemoryPlan`](crate::MemoryPlan) and are exact;
+//! logic cells and registers cannot be synthesized here, so they use an
+//! analytic model with per-unit cost constants **calibrated once** against
+//! the paper's Tables 2 and 3 and then reused unchanged for every other
+//! configuration (the documented substitution of DESIGN.md §3).
+
+use crate::{ArchConfig, CodeDims, MemoryPlan, MessageStorage};
+use std::fmt;
+
+/// ALUTs per message bit of one serial check-node unit (two-minimum
+/// tracker, sign chain, scaler). 200 × q_msg = 1200 ALUTs at q = 6.
+const ALUT_PER_CNU_BIT: u64 = 200;
+/// Registers per message bit of one CN unit (pipeline + state).
+const REG_PER_CNU_BIT: u64 = 150;
+/// ALUTs per message bit of one bit-node unit with direct storage
+/// (adder tree + subtract + saturate). 47 × 6 ≈ 282 ALUTs.
+const ALUT_PER_BNU_BIT_DIRECT: u64 = 47;
+/// Registers per message bit of one direct-storage BN unit.
+const REG_PER_BNU_BIT_DIRECT: u64 = 35;
+/// ALUTs per message bit of one BN unit with compressed CN storage: the
+/// subtraction path is shared with the on-the-fly recompute, roughly
+/// halving the per-unit cost (23 × 6 ≈ 138 ALUTs).
+const ALUT_PER_BNU_BIT_COMPRESSED: u64 = 23;
+/// Registers per message bit of one compressed-storage BN unit.
+const REG_PER_BNU_BIT_COMPRESSED: u64 = 20;
+/// Controller + address generation + I/O sequencing, shared by all
+/// processing blocks.
+const ALUT_CONTROLLER: u64 = 1_100;
+/// Controller registers.
+const REG_CONTROLLER: u64 = 800;
+
+/// Estimated FPGA resource usage of one architecture configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Adaptive look-up tables (logic elements on Cyclone II).
+    pub aluts: u64,
+    /// Flip-flops.
+    pub registers: u64,
+    /// Embedded memory bits.
+    pub memory_bits: u64,
+}
+
+impl ResourceEstimate {
+    /// Estimates resources for a configuration decoding the given code.
+    pub fn new(config: &ArchConfig, dims: &CodeDims) -> Self {
+        let q = u64::from(config.fixed.q_msg);
+        let cn_units = config.total_cn_units() as u64;
+        let bn_units = config.total_bn_units() as u64;
+        let (alut_bnu, reg_bnu) = match config.storage {
+            MessageStorage::Direct => (ALUT_PER_BNU_BIT_DIRECT, REG_PER_BNU_BIT_DIRECT),
+            MessageStorage::CompressedCn => {
+                (ALUT_PER_BNU_BIT_COMPRESSED, REG_PER_BNU_BIT_COMPRESSED)
+            }
+        };
+        let aluts = cn_units * ALUT_PER_CNU_BIT * q + bn_units * alut_bnu * q + ALUT_CONTROLLER;
+        let registers = cn_units * REG_PER_CNU_BIT * q + bn_units * reg_bnu * q + REG_CONTROLLER;
+        let memory_bits = MemoryPlan::new(config, dims).total_bits();
+        Self {
+            aluts,
+            registers,
+            memory_bits,
+        }
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ALUTs, {} registers, {} memory bits",
+            self.aluts, self.registers, self.memory_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchConfig, CodeDims, CYCLONE_II_EP2C50, STRATIX_II_EP2S180};
+
+    #[test]
+    fn low_cost_matches_paper_table_2() {
+        // Paper Table 2: 8k ALUTs (16%), 6k registers (12%), 290k bits (50%)
+        // on a Cyclone II EP2C50F.
+        let est = ResourceEstimate::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
+        assert!((est.aluts as i64 - 8_000).abs() < 500, "aluts {}", est.aluts);
+        assert!((est.registers as i64 - 6_000).abs() < 500, "regs {}", est.registers);
+        assert_eq!(est.memory_bits, 286_160);
+        let u = CYCLONE_II_EP2C50.utilization(&est);
+        assert!((u.logic_pct - 16.0).abs() < 2.0, "logic {u}");
+        assert!((u.register_pct - 12.0).abs() < 2.0, "regs {u}");
+        assert!((u.memory_pct - 50.0).abs() < 3.0, "mem {u}");
+        assert!(u.fits());
+    }
+
+    #[test]
+    fn high_speed_matches_paper_table_3() {
+        // Paper Table 3: 38k ALUTs (27%), 30k registers (20%), 1300kb
+        // on a Stratix II EP2S180.
+        let est = ResourceEstimate::new(&ArchConfig::high_speed(), &CodeDims::ccsds_c2());
+        assert!((est.aluts as i64 - 38_000).abs() < 1_500, "aluts {}", est.aluts);
+        assert!((est.registers as i64 - 30_000).abs() < 1_500, "regs {}", est.registers);
+        assert_eq!(est.memory_bits, 1_299_984);
+        let u = STRATIX_II_EP2S180.utilization(&est);
+        assert!((u.logic_pct - 27.0).abs() < 2.0, "logic {u}");
+        assert!((u.register_pct - 20.0).abs() < 2.0, "regs {u}");
+        assert!(u.fits());
+    }
+
+    #[test]
+    fn eight_x_throughput_for_about_4x_resources() {
+        // Paper §4.2: "increase the output throughput ... by a factor of
+        // eight while only increasing the amount of resources by about
+        // four".
+        let dims = CodeDims::ccsds_c2();
+        let lc = ResourceEstimate::new(&ArchConfig::low_cost(), &dims);
+        let hs = ResourceEstimate::new(&ArchConfig::high_speed(), &dims);
+        let logic_ratio = hs.aluts as f64 / lc.aluts as f64;
+        assert!(
+            (3.5..6.0).contains(&logic_ratio),
+            "logic ratio {logic_ratio}"
+        );
+        let mem_ratio = hs.memory_bits as f64 / lc.memory_bits as f64;
+        assert!(mem_ratio < 8.0, "memory ratio {mem_ratio} not better than linear");
+    }
+
+    #[test]
+    fn resources_scale_with_quantization() {
+        let dims = CodeDims::ccsds_c2();
+        let narrow = ResourceEstimate::new(
+            &ArchConfig::low_cost().with_fixed(ldpc_core::FixedConfig::default().with_q_msg(4)),
+            &dims,
+        );
+        let wide = ResourceEstimate::new(
+            &ArchConfig::low_cost().with_fixed(ldpc_core::FixedConfig::default().with_q_msg(8)),
+            &dims,
+        );
+        assert!(narrow.aluts < wide.aluts);
+        assert!(narrow.memory_bits < wide.memory_bits);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let est = ResourceEstimate::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
+        let text = est.to_string();
+        assert!(text.contains("ALUTs"));
+        assert!(text.contains("memory bits"));
+    }
+}

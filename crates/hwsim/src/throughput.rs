@@ -1,0 +1,216 @@
+//! The cycle/throughput model behind the paper's Table 1.
+
+use crate::{ArchConfig, CodeDims};
+
+/// Cycle-count and data-rate model of one architecture configuration.
+///
+/// One decoding iteration costs
+/// `ceil(checks / P_cn) + D_cn + ceil(n / P_bn) + D_bn` cycles: the CN
+/// phase streams all check nodes through `P_cn` units, the BN phase all
+/// bit nodes through `P_bn` units, and each phase pays its pipeline drain.
+/// Frame I/O overlaps decoding through the double-buffered I/O memories
+/// (`io_overlap`), so steady-state throughput is governed by iteration
+/// cycles alone.
+///
+/// For the low-cost preset on the C2 code this gives 511 + 39 + 511 + 39 =
+/// 1100 cycles per iteration — 130 Mbps at 10 iterations and 200 MHz,
+/// matching Table 1.
+///
+/// # Example
+///
+/// ```
+/// use ldpc_hwsim::{ArchConfig, CodeDims, ThroughputModel};
+///
+/// let m = ThroughputModel::new(ArchConfig::high_speed(), CodeDims::ccsds_c2());
+/// assert!((m.info_throughput_mbps(10) - 1040.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputModel {
+    config: ArchConfig,
+    dims: CodeDims,
+}
+
+impl ThroughputModel {
+    /// Creates a model for a configuration and code.
+    pub fn new(config: ArchConfig, dims: CodeDims) -> Self {
+        Self { config, dims }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// The code dimensions.
+    pub fn dims(&self) -> &CodeDims {
+        &self.dims
+    }
+
+    /// Cycles of one decoding iteration.
+    pub fn iteration_cycles(&self) -> u64 {
+        let cn = (self.dims.n_checks as u64).div_ceil(self.config.cn_parallelism as u64);
+        let bn = (self.dims.n as u64).div_ceil(self.config.bn_parallelism as u64);
+        cn + self.config.cn_pipeline as u64 + bn + self.config.bn_pipeline as u64
+    }
+
+    /// Cycles to decode one frame group at the given iteration count,
+    /// including non-overlapped I/O if configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn frame_cycles(&self, iterations: u32) -> u64 {
+        assert!(iterations > 0, "iteration count must be positive");
+        let io = if self.config.io_overlap {
+            0
+        } else {
+            // Load and store at one memory word (bn_parallelism bits) per
+            // cycle each.
+            2 * (self.dims.n as u64).div_ceil(self.config.bn_parallelism as u64)
+        };
+        u64::from(iterations) * self.iteration_cycles() + io
+    }
+
+    /// End-to-end latency of one frame in microseconds: load, decode, and
+    /// store, regardless of I/O overlap (overlap helps throughput, not the
+    /// latency of an individual frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn frame_latency_us(&self, iterations: u32) -> f64 {
+        assert!(iterations > 0, "iteration count must be positive");
+        let io = 2 * (self.dims.n as u64).div_ceil(self.config.bn_parallelism as u64);
+        let cycles = u64::from(iterations) * self.iteration_cycles() + io;
+        cycles as f64 / self.config.clock_mhz
+    }
+
+    /// Decoded frames per second (counting all packed frames).
+    pub fn frames_per_second(&self, iterations: u32) -> f64 {
+        let cycles = self.frame_cycles(iterations) as f64;
+        let clock_hz = self.config.clock_mhz * 1e6;
+        self.config.frames_per_word as f64 * clock_hz / cycles
+    }
+
+    /// Information throughput in Mbps — the paper's "output throughput".
+    pub fn info_throughput_mbps(&self, iterations: u32) -> f64 {
+        self.frames_per_second(iterations) * self.dims.info_bits as f64 / 1e6
+    }
+
+    /// Coded (channel) throughput in Mbps.
+    pub fn coded_throughput_mbps(&self, iterations: u32) -> f64 {
+        self.frames_per_second(iterations) * self.dims.n as f64 / 1e6
+    }
+
+    /// The (iterations, Mbps) rows of the paper's Table 1.
+    pub fn table1_rows(&self, iteration_counts: &[u32]) -> Vec<(u32, f64)> {
+        iteration_counts
+            .iter()
+            .map(|&it| (it, self.info_throughput_mbps(it)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_cost() -> ThroughputModel {
+        ThroughputModel::new(ArchConfig::low_cost(), CodeDims::ccsds_c2())
+    }
+
+    fn high_speed() -> ThroughputModel {
+        ThroughputModel::new(ArchConfig::high_speed(), CodeDims::ccsds_c2())
+    }
+
+    #[test]
+    fn iteration_cycles_match_design() {
+        // 1022/2 + 39 + 8176/16 + 39 = 511 + 39 + 511 + 39 = 1100.
+        assert_eq!(low_cost().iteration_cycles(), 1100);
+    }
+
+    #[test]
+    fn table_1_low_cost_row() {
+        // Paper Table 1 @200 MHz: 10 it -> 130, 18 -> 70, 50 -> 25 Mbps.
+        let m = low_cost();
+        let t10 = m.info_throughput_mbps(10);
+        let t18 = m.info_throughput_mbps(18);
+        let t50 = m.info_throughput_mbps(50);
+        assert!((t10 - 130.0).abs() < 2.0, "10 it: {t10}");
+        assert!((t18 - 70.0).abs() < 3.0, "18 it: {t18}");
+        assert!((t50 - 25.0).abs() < 1.5, "50 it: {t50}");
+    }
+
+    #[test]
+    fn table_1_high_speed_is_8x() {
+        // Paper: 1040 / 560 / 200 Mbps — exactly 8x the low-cost decoder.
+        let lc = low_cost();
+        let hs = high_speed();
+        for it in [10u32, 18, 50] {
+            let ratio = hs.info_throughput_mbps(it) / lc.info_throughput_mbps(it);
+            assert!((ratio - 8.0).abs() < 1e-9, "iterations {it}: ratio {ratio}");
+        }
+        assert!((hs.info_throughput_mbps(10) - 1040.0).abs() < 15.0);
+        assert!((hs.info_throughput_mbps(18) - 560.0).abs() < 25.0);
+        assert!((hs.info_throughput_mbps(50) - 200.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn throughput_inversely_proportional_to_iterations() {
+        let m = low_cost();
+        let t10 = m.info_throughput_mbps(10);
+        let t20 = m.info_throughput_mbps(20);
+        assert!((t10 / t20 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coded_exceeds_info_throughput() {
+        let m = low_cost();
+        assert!(m.coded_throughput_mbps(18) > m.info_throughput_mbps(18));
+        let ratio = m.coded_throughput_mbps(18) / m.info_throughput_mbps(18);
+        assert!((ratio - 8176.0 / 7154.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_overlapped_io_costs_cycles() {
+        let cfg = ArchConfig {
+            io_overlap: false,
+            ..ArchConfig::low_cost()
+        };
+        let m = ThroughputModel::new(cfg, CodeDims::ccsds_c2());
+        assert_eq!(m.frame_cycles(10), 10 * 1100 + 2 * 511);
+        assert!(m.info_throughput_mbps(10) < low_cost().info_throughput_mbps(10));
+    }
+
+    #[test]
+    fn clock_scales_linearly() {
+        let m100 = ThroughputModel::new(
+            ArchConfig::low_cost().with_clock_mhz(100.0),
+            CodeDims::ccsds_c2(),
+        );
+        assert!((m100.info_throughput_mbps(18) * 2.0 - low_cost().info_throughput_mbps(18)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_rows_enumerate_requested_iterations() {
+        let rows = low_cost().table1_rows(&[10, 18, 50]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, 10);
+        assert!(rows[0].1 > rows[2].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iterations_rejected() {
+        low_cost().frame_cycles(0);
+    }
+
+    #[test]
+    fn latency_exceeds_pure_decode_time() {
+        let m = low_cost();
+        // 18 iterations: 18*1100 decode cycles + 2*511 I/O at 200 MHz.
+        let want = (18 * 1100 + 2 * 511) as f64 / 200.0;
+        assert!((m.frame_latency_us(18) - want).abs() < 1e-9);
+        assert!(m.frame_latency_us(18) * 1e-6 > 1.0 / m.frames_per_second(18) * 0.9);
+    }
+}

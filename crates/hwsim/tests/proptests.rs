@@ -1,0 +1,98 @@
+//! Property-based tests of the architecture models: for arbitrary (sane)
+//! configurations, the throughput model, memory plan, simulator and
+//! reference decoder must stay mutually consistent.
+
+use ldpc_core::codes::small::demo_code;
+use ldpc_core::FixedDecoder;
+use ldpc_hwsim::{ArchConfig, ArchSimulator, CodeDims, MemoryPlan, MessageStorage, ThroughputModel};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ArchConfig> {
+    (
+        1usize..=8,             // cn parallelism
+        prop::sample::select(vec![4usize, 8, 12, 16, 31]), // bn parallelism
+        1usize..=8,             // frames per word
+        prop::bool::ANY,        // storage
+        prop::bool::ANY,        // io overlap
+        0usize..=64,            // pipeline depth
+    )
+        .prop_map(|(cn, bn, frames, compressed, io_overlap, pipe)| {
+            let mut cfg = ArchConfig::low_cost()
+                .with_parallelism(cn, bn)
+                .with_frames_per_word(frames)
+                .with_storage(if compressed {
+                    MessageStorage::CompressedCn
+                } else {
+                    MessageStorage::Direct
+                });
+            cfg.io_overlap = io_overlap;
+            cfg.cn_pipeline = pipe;
+            cfg.bn_pipeline = pipe;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator's cycle count always equals the analytic model.
+    #[test]
+    fn simulator_and_model_agree_on_cycles(cfg in arb_config(), iters in 1u32..6) {
+        let code = demo_code();
+        let sim = ArchSimulator::new(cfg.clone(), code.clone());
+        let model = ThroughputModel::new(cfg, CodeDims::from_code(&code, 180));
+        let frame = vec![5i16; code.n()];
+        let out = sim.decode(&[frame], iters);
+        prop_assert_eq!(out.cycles, model.frame_cycles(iters));
+    }
+
+    /// The simulator is bit-exact with the reference fixed decoder for any
+    /// schedule parameters (parallelism cannot change arithmetic).
+    #[test]
+    fn simulator_bit_exact_for_any_parallelism(cfg in arb_config(), seed in 0u64..50) {
+        let code = demo_code();
+        let sim = ArchSimulator::new(cfg.clone(), code.clone());
+        let mut reference = FixedDecoder::new(code.clone(), cfg.fixed);
+        // Deterministic pseudo-noise within the 5-bit channel range.
+        let frame: Vec<i16> = (0..code.n())
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                ((x >> 32) % 31) as i16 - 15
+            })
+            .collect();
+        let sim_out = sim.decode(&[frame.clone()], 6);
+        let ref_out = reference.decode_quantized(&frame, 6);
+        prop_assert_eq!(&sim_out.results[0], &ref_out);
+    }
+
+    /// Throughput is inversely proportional to iterations when I/O
+    /// overlaps, and memory bits scale linearly with frame packing.
+    #[test]
+    fn model_scaling_laws(cfg in arb_config()) {
+        let dims = CodeDims::ccsds_c2();
+        let model = ThroughputModel::new(cfg.clone(), dims);
+        let t2 = model.info_throughput_mbps(2);
+        let t4 = model.info_throughput_mbps(4);
+        if cfg.io_overlap {
+            prop_assert!((t2 / t4 - 2.0).abs() < 1e-9);
+        } else {
+            prop_assert!(t2 / t4 < 2.0); // fixed I/O cost amortizes
+        }
+        let one = MemoryPlan::new(&cfg.clone().with_frames_per_word(1), &dims).total_bits();
+        let f = cfg.frames_per_word as u64;
+        let many = MemoryPlan::new(&cfg, &dims).total_bits();
+        prop_assert_eq!(one * f, many);
+    }
+
+    /// More packed frames never reduce throughput; compressed storage
+    /// never uses more memory than direct at 8+ frames.
+    #[test]
+    fn packing_monotonicity(cfg in arb_config()) {
+        let dims = CodeDims::ccsds_c2();
+        let low = ThroughputModel::new(cfg.clone().with_frames_per_word(1), dims)
+            .info_throughput_mbps(10);
+        let high = ThroughputModel::new(cfg.clone().with_frames_per_word(8), dims)
+            .info_throughput_mbps(10);
+        prop_assert!(high >= low * 7.9);
+    }
+}

@@ -1,0 +1,496 @@
+//! Multithreaded Monte-Carlo BER/PER evaluation (paper §5, Figure 4).
+//!
+//! The paper evaluates its decoder by simulating frames over a BPSK/AWGN
+//! channel and counting bit and packet (frame) errors versus Eb/N0. This
+//! crate is that harness:
+//!
+//! * [`MonteCarloConfig`] — one operating point: Eb/N0, iteration budget,
+//!   stopping rules, seeding, thread count;
+//! * [`run_point`] — simulate one point with any [`Decoder`] factory,
+//!   spreading frames across threads with deterministic per-thread noise
+//!   streams;
+//! * [`run_curve`] — sweep a list of Eb/N0 points (Figure 4's x-axis);
+//! * [`PointResult`] — error counts with BER/PER accessors and Wilson
+//!   confidence intervals; [`to_csv`] renders a sweep for plotting.
+//!
+//! # Example
+//!
+//! ```
+//! use ldpc_core::codes::small::demo_code;
+//! use ldpc_core::{MinSumConfig, MinSumDecoder};
+//! use ldpc_sim::{run_point, MonteCarloConfig, Transmission};
+//!
+//! let code = demo_code();
+//! let cfg = MonteCarloConfig {
+//!     ebn0_db: 7.0,
+//!     max_frames: 200,
+//!     target_frame_errors: 10,
+//!     max_iterations: 20,
+//!     seed: 1,
+//!     threads: 2,
+//!     transmission: Transmission::AllZero,
+//! };
+//! let point = run_point(&code, None, &cfg, || {
+//!     MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+//! });
+//! assert!(point.frames > 0);
+//! assert!(point.ber() <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gain;
+
+pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
+
+use gf2::BitVec;
+use ldpc_channel::{bpsk_modulate, ebn0_to_sigma, AwgnChannel};
+use ldpc_core::{Decoder, Encoder, LdpcCode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What is transmitted in each simulated frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmission {
+    /// The all-zero codeword (valid for any linear code; standard practice
+    /// for symmetric channels and much faster — no encoder needed).
+    AllZero,
+    /// A fresh uniformly random message, encoded per frame. Requires an
+    /// [`Encoder`] and additionally verifies the encoder/decoder pair
+    /// end to end.
+    Random,
+}
+
+/// Configuration of one Monte-Carlo operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Channel Eb/N0 in dB (converted with the code's actual rate).
+    pub ebn0_db: f64,
+    /// Hard cap on simulated frames.
+    pub max_frames: u64,
+    /// Stop once this many frame errors are observed (0 = never stop
+    /// early; statistical accuracy is then governed by `max_frames`).
+    pub target_frame_errors: u64,
+    /// Decoder iteration budget per frame.
+    pub max_iterations: u32,
+    /// Base seed; worker `t` derives its noise stream from `seed` and `t`.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+    /// Frame content.
+    pub transmission: Transmission,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            ebn0_db: 4.0,
+            max_frames: 1_000,
+            target_frame_errors: 50,
+            max_iterations: 18,
+            seed: 0xCC5D5,
+            threads: 0,
+            transmission: Transmission::AllZero,
+        }
+    }
+}
+
+/// Accumulated statistics of one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointResult {
+    /// Eb/N0 of the point in dB.
+    pub ebn0_db: f64,
+    /// Frames simulated.
+    pub frames: u64,
+    /// Information-bit errors.
+    pub bit_errors: u64,
+    /// Frames with at least one information-bit error.
+    pub frame_errors: u64,
+    /// Frames the decoder *converged* on (zero syndrome) that were still
+    /// wrong — undetected errors, relevant to the paper's error-floor
+    /// discussion.
+    pub undetected_frame_errors: u64,
+    /// Total decoder iterations across all frames.
+    pub total_iterations: u64,
+    /// Information bits counted per frame.
+    pub info_bits_per_frame: u64,
+}
+
+impl PointResult {
+    /// Information bit-error rate.
+    pub fn ber(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.bit_errors as f64 / (self.frames * self.info_bits_per_frame) as f64
+    }
+
+    /// Packet (frame) error rate — the paper's PER.
+    pub fn per(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.frame_errors as f64 / self.frames as f64
+    }
+
+    /// Mean decoder iterations per frame.
+    pub fn avg_iterations(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.total_iterations as f64 / self.frames as f64
+    }
+
+    /// 95 % Wilson confidence interval on the frame-error rate.
+    pub fn per_confidence(&self) -> (f64, f64) {
+        wilson_interval(self.frame_errors, self.frames, 1.96)
+    }
+
+    /// 95 % Wilson confidence interval on the bit-error rate.
+    pub fn ber_confidence(&self) -> (f64, f64) {
+        wilson_interval(self.bit_errors, self.frames * self.info_bits_per_frame, 1.96)
+    }
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)`; for zero trials returns `(0, 1)`.
+///
+/// ```
+/// let (lo, hi) = ldpc_sim::wilson_interval(5, 100, 1.96);
+/// assert!(lo > 0.0 && lo < 0.05 && hi > 0.05 && hi < 0.2);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Simulates one Eb/N0 point, spreading frames over worker threads.
+///
+/// `factory` builds one decoder per worker (decoders are stateful
+/// workspaces and not shared). For [`Transmission::Random`] an encoder is
+/// required; with [`Transmission::AllZero`] pass `None`.
+///
+/// Information-bit errors are counted over the encoder's systematic
+/// information positions when an encoder is given, or over all code bits
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `max_frames == 0`, or if `Transmission::Random` is requested
+/// without an encoder.
+pub fn run_point<F, D>(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    cfg: &MonteCarloConfig,
+    factory: F,
+) -> PointResult
+where
+    F: Fn() -> D + Sync,
+    D: Decoder,
+{
+    assert!(cfg.max_frames > 0, "max_frames must be positive");
+    if cfg.transmission == Transmission::Random {
+        assert!(
+            encoder.is_some(),
+            "random transmission requires an encoder"
+        );
+    }
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cfg.threads
+    };
+    let sigma = ebn0_to_sigma(cfg.ebn0_db, code.rate());
+    // Error counting positions: systematic info bits if we know them.
+    let info_positions: Vec<u32> = match encoder {
+        Some(enc) => enc.info_positions().to_vec(),
+        None => (0..code.n() as u32).collect(),
+    };
+    let info_bits_per_frame = info_positions.len() as u64;
+
+    let frames_claimed = AtomicU64::new(0);
+    let frames_done = AtomicU64::new(0);
+    let bit_errors = AtomicU64::new(0);
+    let frame_errors = AtomicU64::new(0);
+    let undetected = AtomicU64::new(0);
+    let total_iterations = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let factory = &factory;
+            let info_positions = &info_positions;
+            let frames_claimed = &frames_claimed;
+            let frames_done = &frames_done;
+            let bit_errors = &bit_errors;
+            let frame_errors = &frame_errors;
+            let undetected = &undetected;
+            let total_iterations = &total_iterations;
+            let code = Arc::clone(code);
+            let encoder = encoder.cloned();
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut decoder = factory();
+                // Disjoint deterministic streams per worker.
+                let worker_seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                let mut channel = AwgnChannel::new(sigma, worker_seed);
+                let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
+                let zero = BitVec::zeros(code.n());
+                loop {
+                    if cfg.target_frame_errors > 0
+                        && frame_errors.load(Ordering::Relaxed) >= cfg.target_frame_errors
+                    {
+                        break;
+                    }
+                    let claimed = frames_claimed.fetch_add(1, Ordering::Relaxed);
+                    if claimed >= cfg.max_frames {
+                        break;
+                    }
+                    let codeword = match cfg.transmission {
+                        Transmission::AllZero => zero.clone(),
+                        Transmission::Random => {
+                            let enc = encoder.as_ref().expect("checked above");
+                            let msg: BitVec =
+                                (0..enc.dimension()).map(|_| msg_rng.gen_bool(0.5)).collect();
+                            enc.encode(&msg).expect("message length matches dimension")
+                        }
+                    };
+                    let symbols = bpsk_modulate(&codeword);
+                    let llrs = channel.llrs(&symbols);
+                    let out = decoder.decode(&llrs, cfg.max_iterations);
+                    total_iterations.fetch_add(u64::from(out.iterations), Ordering::Relaxed);
+                    let mut errors_this_frame = 0u64;
+                    for &pos in info_positions.iter() {
+                        if out.hard_decision.get(pos as usize) != codeword.get(pos as usize) {
+                            errors_this_frame += 1;
+                        }
+                    }
+                    if errors_this_frame > 0 {
+                        bit_errors.fetch_add(errors_this_frame, Ordering::Relaxed);
+                        frame_errors.fetch_add(1, Ordering::Relaxed);
+                        if out.converged {
+                            undetected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    frames_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    PointResult {
+        ebn0_db: cfg.ebn0_db,
+        frames: frames_done.load(Ordering::Relaxed),
+        bit_errors: bit_errors.load(Ordering::Relaxed),
+        frame_errors: frame_errors.load(Ordering::Relaxed),
+        undetected_frame_errors: undetected.load(Ordering::Relaxed),
+        total_iterations: total_iterations.load(Ordering::Relaxed),
+        info_bits_per_frame,
+    }
+}
+
+/// Sweeps a list of Eb/N0 points (the x-axis of the paper's Figure 4).
+///
+/// Each point reuses `base` with its `ebn0_db` replaced and the seed
+/// offset by the point index, so points are independent but reproducible.
+pub fn run_curve<F, D>(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    ebn0_points: &[f64],
+    base: &MonteCarloConfig,
+    factory: F,
+) -> Vec<PointResult>
+where
+    F: Fn() -> D + Sync,
+    D: Decoder,
+{
+    ebn0_points
+        .iter()
+        .enumerate()
+        .map(|(i, &ebn0_db)| {
+            let cfg = MonteCarloConfig {
+                ebn0_db,
+                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
+                ..base.clone()
+            };
+            run_point(code, encoder, &cfg, &factory)
+        })
+        .collect()
+}
+
+/// Renders a sweep as CSV with header
+/// `ebn0_db,frames,ber,per,avg_iterations,undetected`.
+pub fn to_csv(points: &[PointResult]) -> String {
+    let mut out = String::from("ebn0_db,frames,ber,per,avg_iterations,undetected\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:.3},{},{:.6e},{:.6e},{:.2},{}\n",
+            p.ebn0_db,
+            p.frames,
+            p.ber(),
+            p.per(),
+            p.avg_iterations(),
+            p.undetected_frame_errors
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpc_core::codes::small::demo_code;
+    use ldpc_core::{FixedConfig, FixedDecoder, MinSumConfig, MinSumDecoder};
+
+    fn quick_cfg(ebn0_db: f64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            ebn0_db,
+            max_frames: 300,
+            target_frame_errors: 0,
+            max_iterations: 25,
+            seed: 7,
+            threads: 2,
+            transmission: Transmission::AllZero,
+        }
+    }
+
+    #[test]
+    fn high_snr_is_nearly_error_free() {
+        let code = demo_code();
+        let point = run_point(&code, None, &quick_cfg(10.0), || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        assert_eq!(point.frames, 300);
+        assert_eq!(point.frame_errors, 0, "per={}", point.per());
+    }
+
+    #[test]
+    fn low_snr_produces_errors() {
+        let code = demo_code();
+        let point = run_point(&code, None, &quick_cfg(-2.0), || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        assert!(point.frame_errors > 0);
+        assert!(point.ber() > 0.0);
+        assert!(point.per() >= point.ber());
+    }
+
+    #[test]
+    fn ber_decreases_with_snr() {
+        let code = demo_code();
+        let points = run_curve(&code, None, &[0.0, 3.0, 6.0], &quick_cfg(0.0), || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[0].ber() > points[2].ber(),
+            "ber(0dB)={} vs ber(6dB)={}",
+            points[0].ber(),
+            points[2].ber()
+        );
+    }
+
+    #[test]
+    fn target_frame_errors_stops_early() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 100_000,
+            target_frame_errors: 5,
+            ..quick_cfg(-3.0)
+        };
+        let point = run_point(&code, None, &cfg, || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        assert!(point.frame_errors >= 5);
+        assert!(point.frames < 100_000);
+    }
+
+    #[test]
+    fn random_transmission_matches_all_zero_statistics() {
+        let code = demo_code();
+        let enc = Arc::new(Encoder::new(&code).unwrap());
+        let mut cfg = quick_cfg(2.5);
+        cfg.max_frames = 400;
+        let zero = run_point(&code, Some(&enc), &cfg, || {
+            FixedDecoder::new(demo_code(), FixedConfig::default())
+        });
+        cfg.transmission = Transmission::Random;
+        let random = run_point(&code, Some(&enc), &cfg, || {
+            FixedDecoder::new(demo_code(), FixedConfig::default())
+        });
+        // Linear code + symmetric channel: the two BERs agree statistically.
+        let (lo, hi) = zero.per_confidence();
+        let margin = 0.12;
+        assert!(
+            random.per() >= (lo - margin).max(0.0) && random.per() <= (hi + margin).min(1.0),
+            "all-zero per={} ({lo}..{hi}), random per={}",
+            zero.per(),
+            random.per()
+        );
+    }
+
+    #[test]
+    fn results_are_reproducible_for_fixed_seed_single_thread() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            threads: 1,
+            ..quick_cfg(1.0)
+        };
+        let a = run_point(&code, None, &cfg, || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        let b = run_point(&code, None, &cfg, || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let code = demo_code();
+        let points = run_curve(&code, None, &[5.0], &quick_cfg(5.0), || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        let csv = to_csv(&points);
+        assert!(csv.starts_with("ebn0_db,frames"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn wilson_interval_basics() {
+        let (lo, hi) = wilson_interval(0, 0, 1.96);
+        assert_eq!((lo, hi), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95);
+        assert!(hi > 0.999);
+        // Interval shrinks with more trials.
+        let (_, hi_small) = wilson_interval(10, 100, 1.96);
+        let (_, hi_large) = wilson_interval(100, 1000, 1.96);
+        assert!(hi_large < hi_small);
+    }
+
+    #[test]
+    fn avg_iterations_reported() {
+        let code = demo_code();
+        let point = run_point(&code, None, &quick_cfg(8.0), || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+        });
+        // Clean channel: early termination keeps iterations near 1.
+        assert!(point.avg_iterations() >= 1.0);
+        assert!(point.avg_iterations() < 3.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! FPGA planner: explore the genericity of the architecture (paper §3).
+//!
+//! Sweeps parallelism, frame packing, and storage strategy; prints the
+//! throughput each configuration reaches and which devices of the database
+//! it fits on — reproducing the paper's Tables 1-3 along the way.
+//!
+//! Run with `cargo run --release --example fpga_planner`.
+
+use ccsds_ldpc::hwsim::{
+    devices, render_table, ArchConfig, CodeDims, MemoryPlan, MessageStorage, ResourceEstimate,
+    ThroughputModel,
+};
+
+fn main() {
+    let dims = CodeDims::ccsds_c2();
+
+    // --- Paper Table 1: iterations vs output throughput. ---
+    let mut rows = Vec::new();
+    for iters in [10u32, 18, 50] {
+        let lc = ThroughputModel::new(ArchConfig::low_cost(), dims).info_throughput_mbps(iters);
+        let hs = ThroughputModel::new(ArchConfig::high_speed(), dims).info_throughput_mbps(iters);
+        rows.push(vec![
+            iters.to_string(),
+            format!("{lc:.0} Mbps"),
+            format!("{hs:.0} Mbps"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 1 — iterations vs output data rate (200 MHz clock)",
+            &["iterations", "low-cost", "high-speed"],
+            &rows,
+        )
+    );
+
+    // --- Paper Tables 2 and 3: resources + device fits. ---
+    for cfg in [ArchConfig::low_cost(), ArchConfig::high_speed()] {
+        let est = ResourceEstimate::new(&cfg, &dims);
+        println!("\n{} decoder: {est}", cfg.name);
+        println!("{}", MemoryPlan::new(&cfg, &dims));
+        for dev in devices() {
+            let u = dev.utilization(&est);
+            println!(
+                "  {:>10} {:<8} : {} {}",
+                dev.family,
+                dev.name,
+                u,
+                if u.fits() { "FITS" } else { "does not fit" }
+            );
+        }
+    }
+
+    // --- Genericity sweep: frames-per-word scaling. ---
+    let mut rows = Vec::new();
+    for f in [1usize, 2, 4, 8, 16] {
+        for storage in [MessageStorage::Direct, MessageStorage::CompressedCn] {
+            let cfg = ArchConfig::high_speed()
+                .with_frames_per_word(f)
+                .with_storage(storage)
+                .with_name(format!("F={f} {storage:?}"));
+            let est = ResourceEstimate::new(&cfg, &dims);
+            let tp = ThroughputModel::new(cfg.clone(), dims).info_throughput_mbps(18);
+            let smallest_fit = devices()
+                .iter()
+                .find(|d| d.fits(&est))
+                .map_or("none", |d| d.name);
+            rows.push(vec![
+                cfg.name.clone(),
+                format!("{tp:.0} Mbps"),
+                format!("{}k ALUTs", est.aluts / 1000),
+                format!("{}kb", est.memory_bits / 1000),
+                smallest_fit.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "\n{}",
+        render_table(
+            "Genericity sweep at 18 iterations — frame packing x storage strategy",
+            &["config", "info rate", "logic", "memory", "smallest device"],
+            &rows,
+        )
+    );
+}

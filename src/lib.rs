@@ -1,0 +1,61 @@
+//! # ccsds-ldpc
+//!
+//! A CCSDS near-earth LDPC decoder system in Rust — a full reproduction of
+//! *"A Generic Architecture of CCSDS Low Density Parity Check Decoder for
+//! Near-Earth Applications"* (Demangel, Fau, Drabik, Charot, Wolinski;
+//! DATE 2009).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`gf2`] — GF(2) linear algebra (bit vectors, matrices, circulants);
+//! * [`core`] — the CCSDS C2 (8176, 7156) quasi-cyclic code, systematic
+//!   encoder, and the decoder family (sum-product, normalized min-sum,
+//!   bit-accurate fixed point, layered);
+//! * [`channel`] — BPSK/AWGN channel and LLR demapping;
+//! * [`hwsim`] — the paper's generic parallel architecture: cycle-accurate
+//!   simulator, throughput model (Table 1), and FPGA resource model
+//!   (Tables 2–3);
+//! * [`sim`] — multithreaded Monte-Carlo BER/PER engine (Figure 4);
+//! * [`ar4ja`] — AR4JA deep-space codes, the paper's stated future work.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ccsds_ldpc::core::codes::small::demo_code;
+//! use ccsds_ldpc::core::{Decoder, FixedConfig, FixedDecoder};
+//! use ccsds_ldpc::channel::AwgnChannel;
+//! use ccsds_ldpc::gf2::BitVec;
+//!
+//! // Transmit the all-zero codeword at 5 dB over AWGN.
+//! let code = demo_code();
+//! let mut channel = AwgnChannel::from_ebn0(5.0, code.rate(), 42);
+//! let llrs = channel.transmit_codeword(&BitVec::zeros(code.n()));
+//!
+//! // Decode with the paper's fixed-point datapath at 18 iterations.
+//! let mut decoder = FixedDecoder::new(code.clone(), FixedConfig::default());
+//! let out = decoder.decode(&llrs, 18);
+//! assert!(out.converged);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gf2;
+
+/// Codes, encoders and decoders (re-export of `ldpc-core`).
+pub use ldpc_core as core;
+
+/// BPSK/AWGN channel substrate (re-export of `ldpc-channel`).
+pub use ldpc_channel as channel;
+
+/// Hardware architecture models (re-export of `ldpc-hwsim`).
+pub use ldpc_hwsim as hwsim;
+
+/// Monte-Carlo evaluation engine (re-export of `ldpc-sim`).
+pub use ldpc_sim as sim;
+
+/// AR4JA deep-space codes (re-export of `ldpc-ar4ja`).
+pub use ldpc_ar4ja as ar4ja;

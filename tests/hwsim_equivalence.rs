@@ -1,0 +1,87 @@
+//! The architecture simulator must be bit-identical to the reference
+//! fixed-point decoder and cycle-identical to the throughput model — on
+//! the real CCSDS C2 code, for both paper presets.
+
+use ccsds_ldpc::channel::AwgnChannel;
+use ccsds_ldpc::core::codes::ccsds_c2;
+use ccsds_ldpc::core::FixedDecoder;
+use ccsds_ldpc::gf2::BitVec;
+use ccsds_ldpc::hwsim::{ArchConfig, ArchSimulator, CodeDims, ThroughputModel};
+
+fn noisy_quantized_frame(seed: u64, ebn0_db: f64) -> Vec<i16> {
+    let code = ccsds_c2::code();
+    let cfg = ArchConfig::low_cost();
+    let quantizer = cfg.fixed.channel_quantizer();
+    let mut channel = AwgnChannel::from_ebn0(ebn0_db, code.rate(), seed);
+    let llrs = channel.transmit_codeword(&BitVec::zeros(code.n()));
+    quantizer.quantize_slice(&llrs)
+}
+
+#[test]
+fn low_cost_simulator_bit_exact_on_c2() {
+    let code = ccsds_c2::code();
+    let cfg = ArchConfig::low_cost();
+    let sim = ArchSimulator::new(cfg.clone(), code.clone());
+    let mut reference = FixedDecoder::new(code.clone(), cfg.fixed);
+    for seed in [1u64, 2, 3] {
+        let frame = noisy_quantized_frame(seed, 4.0);
+        let sim_out = sim.decode(&[frame.clone()], 18);
+        let ref_out = reference.decode_quantized(&frame, 18);
+        assert_eq!(sim_out.results[0], ref_out, "seed {seed}");
+    }
+}
+
+#[test]
+fn high_speed_simulator_decodes_eight_frames_lockstep() {
+    let code = ccsds_c2::code();
+    let cfg = ArchConfig::high_speed();
+    let sim = ArchSimulator::new(cfg.clone(), code.clone());
+    let frames: Vec<Vec<i16>> = (0..8).map(|s| noisy_quantized_frame(100 + s, 4.2)).collect();
+    let out = sim.decode(&frames, 18);
+    assert_eq!(out.results.len(), 8);
+    // At 4.2 dB all eight should decode to the all-zero codeword.
+    for (i, r) in out.results.iter().enumerate() {
+        assert!(r.converged, "lane {i}");
+        assert!(r.hard_decision.is_zero(), "lane {i}");
+    }
+    // Same cycle count as a single frame: that is the 8x throughput.
+    let single = sim.decode(&frames[..1], 18);
+    assert_eq!(out.cycles, single.cycles);
+}
+
+#[test]
+fn simulator_cycles_equal_model_cycles_on_c2() {
+    let code = ccsds_c2::code();
+    for cfg in [ArchConfig::low_cost(), ArchConfig::high_speed()] {
+        let sim = ArchSimulator::new(cfg.clone(), code.clone());
+        let model = ThroughputModel::new(cfg.clone(), CodeDims::ccsds_c2());
+        let frame = noisy_quantized_frame(9, 5.0);
+        for iters in [1u32, 10, 18] {
+            let out = sim.decode(&[frame.clone()], iters);
+            assert_eq!(out.cycles, model.frame_cycles(iters), "{} at {iters} iters", cfg.name);
+        }
+    }
+}
+
+#[test]
+fn c2_iteration_is_1100_cycles_for_both_presets() {
+    // 1022/2 + 39 + 8176/16 + 39 — the basis of every Table 1 number.
+    for cfg in [ArchConfig::low_cost(), ArchConfig::high_speed()] {
+        let model = ThroughputModel::new(cfg, CodeDims::ccsds_c2());
+        assert_eq!(model.iteration_cycles(), 1100);
+    }
+}
+
+#[test]
+fn message_traffic_scales_with_iterations() {
+    let code = ccsds_c2::code();
+    let sim = ArchSimulator::new(ArchConfig::low_cost(), code.clone());
+    let frame = noisy_quantized_frame(11, 5.0);
+    let one = sim.decode(&[frame.clone()], 1);
+    let three = sim.decode(&[frame], 3);
+    assert_eq!(3 * one.memory_reads, three.memory_reads);
+    assert_eq!(3 * one.memory_writes, three.memory_writes);
+    // Direct storage: CN phase touches each of the 32 704 edges once in
+    // read and write; BN phase adds edge reads + channel reads + edge writes.
+    assert_eq!(one.memory_writes, 2 * 32_704);
+}
