@@ -76,11 +76,7 @@ impl Ar4jaRate {
 /// The rate-1/2 core follows the AR4JA protograph; higher rates prepend
 /// pairs of degree-(3,1)/(1,3) extension columns, as in the CCSDS family.
 pub fn base_matrix(rate: Ar4jaRate) -> Vec<Vec<u8>> {
-    let core: [[u8; 5]; 3] = [
-        [0, 0, 1, 0, 2],
-        [1, 1, 0, 1, 3],
-        [1, 2, 0, 2, 1],
-    ];
+    let core: [[u8; 5]; 3] = [[0, 0, 1, 0, 2], [1, 1, 0, 1, 3], [1, 2, 0, 2, 1]];
     let extensions: usize = match rate {
         Ar4jaRate::Half => 0,
         Ar4jaRate::TwoThirds => 1,
@@ -150,11 +146,8 @@ impl Ar4jaCode {
             }
         }
         let h = spec.expand();
-        let code = LdpcCode::from_parity_check(
-            format!("AR4JA r={:?} M={m}", rate),
-            h,
-        )
-        .expect("lifted AR4JA matrix is structurally valid");
+        let code = LdpcCode::from_parity_check(format!("AR4JA r={:?} M={m}", rate), h)
+            .expect("lifted AR4JA matrix is structurally valid");
         Self {
             code,
             rate,

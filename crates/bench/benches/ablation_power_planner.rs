@@ -26,14 +26,23 @@ fn regenerate_a5() {
             format!("{:.0} mW", power.total_mw()),
             format!("{:.0} mW", power.memory_dynamic_mw),
             format!("{:.2} nJ/bit", power.nj_per_info_bit(tp)),
-            format!("{:.1} us", ThroughputModel::new(cfg.clone(), CodeDims::ccsds_c2()).frame_latency_us(18)),
+            format!(
+                "{:.1} us",
+                ThroughputModel::new(cfg.clone(), CodeDims::ccsds_c2()).frame_latency_us(18)
+            ),
         ]);
     }
     println!(
         "{}",
         render_table(
             "A5 — indicative power/energy/latency at 18 iterations (90 nm-era model)",
-            &["config", "total power", "memory power", "energy/bit", "frame latency"],
+            &[
+                "config",
+                "total power",
+                "memory power",
+                "energy/bit",
+                "frame latency"
+            ],
             &rows,
         )
     );

@@ -12,7 +12,10 @@ use ldpc_hwsim::{render_table, ArchConfig, CodeDims, MemoryPlan};
 use ldpc_sim::run_point;
 
 fn regenerate_a1() {
-    announce("A1", "quantization-width ablation (BER/PER and memory vs q_msg)");
+    announce(
+        "A1",
+        "quantization-width ablation (BER/PER and memory vs q_msg)",
+    );
     let code = demo_code();
     let dims = CodeDims::ccsds_c2();
     let rows: Vec<Vec<String>> = [4u32, 5, 6, 7, 8]
@@ -24,7 +27,8 @@ fn regenerate_a1() {
             });
             // Memory cost of this width on the real C2 low-cost decoder.
             let plan = MemoryPlan::new(
-                &ArchConfig::low_cost().with_fixed(FixedConfig::default().with_q_msg(q).with_q_ch(q.min(5))),
+                &ArchConfig::low_cost()
+                    .with_fixed(FixedConfig::default().with_q_msg(q).with_q_ch(q.min(5))),
                 &dims,
             );
             vec![
@@ -43,7 +47,9 @@ fn regenerate_a1() {
             &rows,
         )
     );
-    println!("expected shape: large loss below 5 bits, saturation at 6 bits (the paper's design point)");
+    println!(
+        "expected shape: large loss below 5 bits, saturation at 6 bits (the paper's design point)"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -37,7 +37,13 @@ fn regenerate_a3() {
         "{}",
         render_table(
             "A3 — average iterations to converge and PER (50-iteration cap)",
-            &["Eb/N0 dB", "flood iters", "serial iters", "flood PER", "serial PER"],
+            &[
+                "Eb/N0 dB",
+                "flood iters",
+                "serial iters",
+                "flood PER",
+                "serial PER"
+            ],
             &rows,
         )
     );
@@ -47,7 +53,9 @@ fn regenerate_a3() {
 fn bench(c: &mut Criterion) {
     regenerate_a3();
     let code = demo_code();
-    let llrs: Vec<f32> = (0..code.n()).map(|i| if i % 11 == 0 { -1.0 } else { 2.0 }).collect();
+    let llrs: Vec<f32> = (0..code.n())
+        .map(|i| if i % 11 == 0 { -1.0 } else { 2.0 })
+        .collect();
     let mut group = c.benchmark_group("a3");
     group.sample_size(30);
     group.bench_function("flooding_iteration", |b| {

@@ -84,7 +84,10 @@ fn regenerate_e5() {
     let schedule = fine_alpha_schedule(32, 4, 8.8, 6, 20_000, &mut rng);
     println!("fine alpha schedule (C2 degrees, 4 dB): {schedule:?}");
     let a = mean_matching_alpha(32, 11.0, 30_000, &mut rng);
-    println!("matched alpha at the waterfall operating point: {a:.3} -> {:?}", nearest_hardware_scaling(a));
+    println!(
+        "matched alpha at the waterfall operating point: {a:.3} -> {:?}",
+        nearest_hardware_scaling(a)
+    );
 }
 
 fn bench(c: &mut Criterion) {

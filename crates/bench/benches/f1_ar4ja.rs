@@ -29,7 +29,10 @@ fn frame_error_rate(rate: Ar4jaRate, m: usize, ebn0_db: f64, frames: usize) -> (
 }
 
 fn regenerate_f1() {
-    announce("F1", "section 6 future work (AR4JA deep-space codes, punctured decoding)");
+    announce(
+        "F1",
+        "section 6 future work (AR4JA deep-space codes, punctured decoding)",
+    );
     let mut rows = Vec::new();
     for (rate, label, ebn0) in [
         (Ar4jaRate::Half, "1/2", 2.5),
@@ -51,7 +54,14 @@ fn regenerate_f1() {
         "{}",
         render_table(
             "F1 — AR4JA family (M=128) decoded by the same stack",
-            &["rate", "info", "transmitted", "Eb/N0 dB", "FER", "avg iters"],
+            &[
+                "rate",
+                "info",
+                "transmitted",
+                "Eb/N0 dB",
+                "FER",
+                "avg iters"
+            ],
             &rows,
         )
     );

@@ -15,7 +15,10 @@ use ldpc_hwsim::render_table;
 use ldpc_sim::{run_curve, run_point};
 
 fn regenerate_fig4() {
-    announce("E4", "Figure 4 (BER and PER vs Eb/N0, 18-iteration fixed-point decoder)");
+    announce(
+        "E4",
+        "Figure 4 (BER and PER vs Eb/N0, 18-iteration fixed-point decoder)",
+    );
 
     // Demo-code waterfall: same QC structure, 1/33 block length.
     let code = demo_code();

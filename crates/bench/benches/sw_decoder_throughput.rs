@@ -4,6 +4,7 @@
 //! near-earth rates; this quantifies the gap.)
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gf2::BitVec;
 use ldpc_bench::announce;
 use ldpc_channel::AwgnChannel;
 use ldpc_core::codes::ccsds_c2;
@@ -11,7 +12,6 @@ use ldpc_core::{
     Decoder, FixedConfig, FixedDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder,
     SumProductDecoder,
 };
-use gf2::BitVec;
 
 fn noisy_llrs(seed: u64) -> Vec<f32> {
     let code = ccsds_c2::code();
@@ -20,7 +20,10 @@ fn noisy_llrs(seed: u64) -> Vec<f32> {
 }
 
 fn regenerate_a4() {
-    announce("A4", "software decoder throughput on CCSDS C2 (18 iterations, one core)");
+    announce(
+        "A4",
+        "software decoder throughput on CCSDS C2 (18 iterations, one core)",
+    );
     let code = ccsds_c2::code();
     let llrs = noisy_llrs(3);
     let mut decoders: Vec<Box<dyn Decoder>> = vec![
@@ -43,7 +46,12 @@ fn regenerate_a4() {
         }
         let secs = start.elapsed().as_secs_f64() / reps as f64;
         let mbps = ccsds_c2::K_INFO as f64 / secs / 1e6;
-        println!("  {:<32} {:>8.2} ms/frame = {:>6.2} Mbps info", dec.name(), secs * 1e3, mbps);
+        println!(
+            "  {:<32} {:>8.2} ms/frame = {:>6.2} Mbps info",
+            dec.name(),
+            secs * 1e3,
+            mbps
+        );
     }
     println!("  (paper hardware at 18 iterations: low-cost 70 Mbps, high-speed 560 Mbps)");
 }
@@ -56,7 +64,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(ccsds_c2::K_INFO as u64));
     group.bench_function("fixed_point_c2_18it", |b| {
-        let mut dec = FixedDecoder::new(code.clone(), FixedConfig::default().with_early_stop(false));
+        let mut dec =
+            FixedDecoder::new(code.clone(), FixedConfig::default().with_early_stop(false));
         b.iter(|| dec.decode(std::hint::black_box(&llrs), 18))
     });
     group.bench_function("normalized_minsum_c2_18it", |b| {

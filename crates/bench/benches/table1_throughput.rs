@@ -10,7 +10,11 @@ fn regenerate_table1() {
     let dims = CodeDims::ccsds_c2();
     let lc = ThroughputModel::new(ArchConfig::low_cost(), dims);
     let hs = ThroughputModel::new(ArchConfig::high_speed(), dims);
-    let paper = [(10u32, 130.0, 1040.0), (18u32, 70.0, 560.0), (50u32, 25.0, 200.0)];
+    let paper = [
+        (10u32, 130.0, 1040.0),
+        (18u32, 70.0, 560.0),
+        (50u32, 25.0, 200.0),
+    ];
     let rows: Vec<Vec<String>> = paper
         .iter()
         .map(|&(iters, p_lc, p_hs)| {
@@ -31,7 +35,10 @@ fn regenerate_table1() {
             &rows,
         )
     );
-    println!("cycles per iteration: {} (both presets)", lc.iteration_cycles());
+    println!(
+        "cycles per iteration: {} (both presets)",
+        lc.iteration_cycles()
+    );
 }
 
 fn bench(c: &mut Criterion) {

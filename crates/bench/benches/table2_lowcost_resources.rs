@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldpc_bench::announce;
-use ldpc_hwsim::{render_table, ArchConfig, CodeDims, MemoryPlan, ResourceEstimate, CYCLONE_II_EP2C50};
+use ldpc_hwsim::{
+    render_table, ArchConfig, CodeDims, MemoryPlan, ResourceEstimate, CYCLONE_II_EP2C50,
+};
 
 fn regenerate_table2() {
     announce("E2", "Table 2 (low-cost decoder on Cyclone II EP2C50F)");

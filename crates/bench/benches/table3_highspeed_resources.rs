@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldpc_bench::announce;
-use ldpc_hwsim::{render_table, ArchConfig, CodeDims, MemoryPlan, ResourceEstimate, STRATIX_II_EP2S180};
+use ldpc_hwsim::{
+    render_table, ArchConfig, CodeDims, MemoryPlan, ResourceEstimate, STRATIX_II_EP2S180,
+};
 
 fn regenerate_table3() {
     announce("E3", "Table 3 (high-speed decoder on Stratix II EP2S180)");
@@ -46,7 +48,9 @@ fn bench(c: &mut Criterion) {
     regenerate_table3();
     let dims = CodeDims::ccsds_c2();
     c.bench_function("table3/memory_planning", |b| {
-        b.iter(|| MemoryPlan::new(&ArchConfig::high_speed(), std::hint::black_box(&dims)).total_bits())
+        b.iter(|| {
+            MemoryPlan::new(&ArchConfig::high_speed(), std::hint::black_box(&dims)).total_bits()
+        })
     });
 }
 

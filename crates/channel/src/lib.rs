@@ -115,7 +115,10 @@ impl AwgnChannel {
     ///
     /// Panics if `sigma < 0` or not finite.
     pub fn new(sigma: f64, seed: u64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and non-negative"
+        );
         Self {
             sigma,
             rng: StdRng::seed_from_u64(seed),

@@ -46,7 +46,10 @@ impl BscChannel {
     ///
     /// Panics if `p` is not in `(0, 0.5)`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!(p > 0.0 && p < 0.5, "crossover probability must be in (0, 0.5)");
+        assert!(
+            p > 0.0 && p < 0.5,
+            "crossover probability must be in (0, 0.5)"
+        );
         Self {
             p,
             llr_magnitude: ((1.0 - p) / p).ln() as f32,

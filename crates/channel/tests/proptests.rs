@@ -2,8 +2,8 @@
 
 use gf2::BitVec;
 use ldpc_channel::{
-    bpsk_modulate, ebn0_to_mean_llr, ebn0_to_sigma, hard_decision, llr_from_symbol,
-    sigma_to_ebn0, AwgnChannel, BscChannel,
+    bpsk_modulate, ebn0_to_mean_llr, ebn0_to_sigma, hard_decision, llr_from_symbol, sigma_to_ebn0,
+    AwgnChannel, BscChannel,
 };
 use proptest::prelude::*;
 

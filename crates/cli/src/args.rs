@@ -57,18 +57,25 @@ impl ParsedArgs {
     /// Returns [`ArgError`] on malformed input.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut it = args.into_iter().peekable();
-        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command == "--help" || command == "-h" {
+            command = "help".to_owned();
+        }
         if command.starts_with('-') {
             return Err(ArgError::MissingCommand);
         }
         let mut options = HashMap::new();
         let mut flags = Vec::new();
         while let Some(arg) = it.next() {
-            if let Some(name) = arg.strip_prefix("--") {
+            if arg == "-h" {
+                flags.push("help".to_owned());
+            } else if let Some(name) = arg.strip_prefix("--") {
                 if BOOLEAN_FLAGS.contains(&name) {
                     flags.push(name.to_owned());
                 } else {
-                    let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
                     options.insert(name.to_owned(), value);
                 }
             } else {
@@ -128,9 +135,21 @@ mod tests {
     }
 
     #[test]
+    fn help_flag_maps_to_help_command() {
+        assert_eq!(parse(&["--help"]).unwrap().command, "help");
+        assert_eq!(parse(&["-h"]).unwrap().command, "help");
+        // After a subcommand, both spellings surface as the `help` flag.
+        assert!(parse(&["simulate", "--help"]).unwrap().flag("help"));
+        assert!(parse(&["simulate", "-h"]).unwrap().flag("help"));
+    }
+
+    #[test]
     fn missing_command_rejected() {
         assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
-        assert_eq!(parse(&["--ebn0", "4"]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["--ebn0", "4"]).unwrap_err(),
+            ArgError::MissingCommand
+        );
     }
 
     #[test]
@@ -163,7 +182,10 @@ mod tests {
         for e in [
             ArgError::MissingCommand,
             ArgError::MissingValue("x".into()),
-            ArgError::InvalidValue { option: "x".into(), value: "y".into() },
+            ArgError::InvalidValue {
+                option: "x".into(),
+                value: "y".into(),
+            },
             ArgError::UnexpectedPositional("z".into()),
         ] {
             assert!(!e.to_string().is_empty());

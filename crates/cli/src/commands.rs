@@ -5,7 +5,9 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
-use ldpc_core::{FixedConfig, FixedDecoder, LdpcCode, MinSumConfig, MinSumDecoder, SumProductDecoder};
+use ldpc_core::{
+    FixedConfig, FixedDecoder, LdpcCode, MinSumConfig, MinSumDecoder, SumProductDecoder,
+};
 use ldpc_hwsim::{
     devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
     ThroughputModel,
@@ -22,6 +24,10 @@ use std::sync::Arc;
 ///
 /// Returns an error string suitable for printing to stderr.
 pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    // `simulate --help` must print usage, not run a simulation.
+    if args.flag("help") {
+        return Ok(help_text());
+    }
     match args.command.as_str() {
         "help" => Ok(help_text()),
         "info" => cmd_info(args),
@@ -68,7 +74,11 @@ fn cmd_info(_args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let mut out = String::new();
     out.push_str(&format!("name        : {}\n", code.name()));
     out.push_str(&format!("n           : {}\n", code.n()));
-    out.push_str(&format!("checks      : {} (rank {})\n", code.n_checks(), code.rank()));
+    out.push_str(&format!(
+        "checks      : {} (rank {})\n",
+        code.n_checks(),
+        code.rank()
+    ));
     out.push_str(&format!("dimension   : {}\n", code.dimension()));
     out.push_str(&format!("info bits   : {}\n", ccsds_c2::K_INFO));
     out.push_str(&format!("rate        : {:.4}\n", code.rate()));
@@ -88,7 +98,9 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         vec![0u8; ccsds_c2::K_INFO]
     } else {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect()
+        (0..ccsds_c2::K_INFO)
+            .map(|_| rng.gen_range(0..2u8))
+            .collect()
     };
     let cw = ccsds_c2::encode_frame(&info)?;
     let mut out = String::with_capacity(cw.len() + 1);
@@ -194,7 +206,12 @@ fn cmd_tables() -> String {
         out.push_str(&format!("\n{} decoder: {est}\n", cfg.name));
         for dev in devices() {
             if dev.fits(&est) {
-                out.push_str(&format!("  fits {} {} ({})\n", dev.family, dev.name, dev.utilization(&est)));
+                out.push_str(&format!(
+                    "  fits {} {} ({})\n",
+                    dev.family,
+                    dev.name,
+                    dev.utilization(&est)
+                ));
             }
         }
     }

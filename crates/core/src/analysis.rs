@@ -192,8 +192,14 @@ mod tests {
     #[test]
     fn demo_code_matches_c2_profile() {
         let code = demo_code();
-        assert_eq!(DegreeDistribution::bit_nodes(&code).regular_degree(), Some(4));
-        assert_eq!(DegreeDistribution::check_nodes(&code).regular_degree(), Some(16));
+        assert_eq!(
+            DegreeDistribution::bit_nodes(&code).regular_degree(),
+            Some(4)
+        );
+        assert_eq!(
+            DegreeDistribution::check_nodes(&code).regular_degree(),
+            Some(16)
+        );
     }
 
     #[test]
@@ -231,7 +237,10 @@ mod tests {
         // (4,32) ensemble's.
         let t_half = de_threshold_sigma(3, 6, 0.5, 1.3, 5, &mut rng);
         let t_high = de_threshold_sigma(4, 32, 0.3, 0.9, 5, &mut rng);
-        assert!(t_half > t_high, "sigma*(3,6)={t_half} vs sigma*(4,32)={t_high}");
+        assert!(
+            t_half > t_high,
+            "sigma*(3,6)={t_half} vs sigma*(4,32)={t_high}"
+        );
     }
 
     #[test]

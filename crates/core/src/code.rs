@@ -135,9 +135,15 @@ mod tests {
             3,
             6,
             &[
-                (0, 0), (0, 1), (0, 2),
-                (1, 2), (1, 3), (1, 4),
-                (2, 0), (2, 4), (2, 5),
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 0),
+                (2, 4),
+                (2, 5),
             ],
         )
     }

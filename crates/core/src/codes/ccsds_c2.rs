@@ -41,16 +41,40 @@ pub const EDGES: usize = 32_704;
 /// CCSDS specification: each 511×511 circulant has exactly two ones per row.
 pub const TABLE: [[[u32; 2]; BLOCK_COLS]; BLOCK_ROWS] = [
     [
-        [0, 176], [12, 239], [0, 352], [24, 431],
-        [0, 392], [151, 409], [0, 351], [9, 359],
-        [0, 307], [53, 329], [0, 207], [18, 281],
-        [0, 399], [202, 457], [0, 247], [36, 261],
+        [0, 176],
+        [12, 239],
+        [0, 352],
+        [24, 431],
+        [0, 392],
+        [151, 409],
+        [0, 351],
+        [9, 359],
+        [0, 307],
+        [53, 329],
+        [0, 207],
+        [18, 281],
+        [0, 399],
+        [202, 457],
+        [0, 247],
+        [36, 261],
     ],
     [
-        [99, 471], [130, 473], [198, 435], [260, 478],
-        [215, 420], [282, 481], [48, 396], [193, 445],
-        [273, 430], [302, 451], [96, 379], [191, 386],
-        [244, 467], [364, 470], [51, 382], [192, 414],
+        [99, 471],
+        [130, 473],
+        [198, 435],
+        [260, 478],
+        [215, 420],
+        [282, 481],
+        [48, 396],
+        [193, 445],
+        [273, 430],
+        [302, 451],
+        [96, 379],
+        [191, 386],
+        [244, 467],
+        [364, 470],
+        [51, 382],
+        [192, 414],
     ],
 ];
 
@@ -91,10 +115,8 @@ pub fn code() -> Arc<LdpcCode> {
 /// which takes a moment; every later call is free.
 pub fn encoder() -> Arc<Encoder> {
     static ENC: OnceLock<Arc<Encoder>> = OnceLock::new();
-    ENC.get_or_init(|| {
-        Arc::new(Encoder::new(&code()).expect("C2 has positive dimension"))
-    })
-    .clone()
+    ENC.get_or_init(|| Arc::new(Encoder::new(&code()).expect("C2 has positive dimension")))
+        .clone()
 }
 
 /// Encodes a CCSDS frame of [`K_INFO`] information bits.

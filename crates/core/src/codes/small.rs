@@ -27,8 +27,26 @@ pub fn demo_code() -> Arc<LdpcCode> {
     CODE.get_or_init(|| {
         // Hand-picked first-row positions with good spread modulo 31.
         let table: [[[u32; 2]; 8]; 2] = [
-            [[0, 11], [3, 17], [0, 22], [5, 19], [0, 9], [7, 26], [0, 15], [2, 24]],
-            [[6, 29], [8, 21], [12, 27], [16, 30], [13, 25], [4, 18], [1, 23], [10, 28]],
+            [
+                [0, 11],
+                [3, 17],
+                [0, 22],
+                [5, 19],
+                [0, 9],
+                [7, 26],
+                [0, 15],
+                [2, 24],
+            ],
+            [
+                [6, 29],
+                [8, 21],
+                [12, 27],
+                [16, 30],
+                [13, 25],
+                [4, 18],
+                [1, 23],
+                [10, 28],
+            ],
         ];
         let first_rows: Vec<Vec<Vec<u32>>> = table
             .iter()
@@ -45,8 +63,26 @@ pub fn demo_code() -> Arc<LdpcCode> {
 /// hardware simulator.
 pub fn demo_spec() -> QcLdpcSpec {
     let table: [[[u32; 2]; 8]; 2] = [
-        [[0, 11], [3, 17], [0, 22], [5, 19], [0, 9], [7, 26], [0, 15], [2, 24]],
-        [[6, 29], [8, 21], [12, 27], [16, 30], [13, 25], [4, 18], [1, 23], [10, 28]],
+        [
+            [0, 11],
+            [3, 17],
+            [0, 22],
+            [5, 19],
+            [0, 9],
+            [7, 26],
+            [0, 15],
+            [2, 24],
+        ],
+        [
+            [6, 29],
+            [8, 21],
+            [12, 27],
+            [16, 30],
+            [13, 25],
+            [4, 18],
+            [1, 23],
+            [10, 28],
+        ],
     ];
     let first_rows: Vec<Vec<Vec<u32>>> = table
         .iter()

@@ -66,7 +66,11 @@ impl Decoder for GallagerBDecoder {
     fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
         let code = self.code.clone();
         let graph = code.graph();
-        assert_eq!(channel_llrs.len(), graph.n_bits(), "channel LLR length mismatch");
+        assert_eq!(
+            channel_llrs.len(),
+            graph.n_bits(),
+            "channel LLR length mismatch"
+        );
         for (h, &llr) in self.hard.iter_mut().zip(channel_llrs) {
             *h = u8::from(llr < 0.0);
         }
@@ -152,7 +156,11 @@ impl Decoder for WeightedBitFlipDecoder {
     fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
         let code = self.code.clone();
         let graph = code.graph();
-        assert_eq!(channel_llrs.len(), graph.n_bits(), "channel LLR length mismatch");
+        assert_eq!(
+            channel_llrs.len(),
+            graph.n_bits(),
+            "channel LLR length mismatch"
+        );
         for (h, &llr) in self.hard.iter_mut().zip(channel_llrs) {
             *h = u8::from(llr < 0.0);
         }
@@ -260,10 +268,10 @@ mod tests {
         let mut ms_fail = 0;
         for _ in 0..60 {
             let mut llrs: Vec<f32> = (0..code.n())
-                .map(|_| 2.0 + rng.gen_range(-0.5..0.5))
+                .map(|_| 2.0 + rng.gen_range(-0.5f32..0.5))
                 .collect();
             for _ in 0..7 {
-                llrs[rng.gen_range(0..code.n())] = rng.gen_range(-2.0..-0.5);
+                llrs[rng.gen_range(0..code.n())] = rng.gen_range(-2.0f32..-0.5);
             }
             let mut gb = GallagerBDecoder::new(code.clone(), 3);
             if !gb.decode(&llrs, 30).converged {

@@ -420,7 +420,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(20);
         // Moderate noise around an all-zero codeword.
         let llrs: Vec<f32> = (0..code.n())
-            .map(|_| 2.0 + rng.gen_range(-1.2..1.2))
+            .map(|_| 2.0 + rng.gen_range(-1.2f32..1.2))
             .collect();
         let mut fixed = FixedDecoder::new(code.clone(), FixedConfig::default());
         let mut float = MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0));
@@ -502,7 +502,11 @@ mod tests {
         let ch = vec![15i16; code.n()]; // rail-to-rail channel input
         let (_, trace) = dec.decode_quantized_traced(&ch, 3);
         // Messages quickly saturate at the rails under unanimous input.
-        assert!(trace.peak_saturation() > 0.5, "peak {}", trace.peak_saturation());
+        assert!(
+            trace.peak_saturation() > 0.5,
+            "peak {}",
+            trace.peak_saturation()
+        );
         assert!(trace.syndrome_monotone());
     }
 }

@@ -123,7 +123,11 @@ impl CnState {
     /// magnitude min-excluding-self, scaled by the normalization factor.
     #[inline]
     pub fn output(&self, idx: u32, scaling: Scaling) -> i16 {
-        let mag = if idx == self.argmin { self.min2 } else { self.min1 };
+        let mag = if idx == self.argmin {
+            self.min2
+        } else {
+            self.min1
+        };
         let mag = scaling.apply(mag);
         let own_negative = (self.signs >> idx) & 1 == 1;
         let negative = self.sign_product ^ own_negative;
@@ -188,7 +192,12 @@ mod tests {
 
     #[test]
     fn scaling_alpha_is_reciprocal() {
-        for s in [Scaling::Unity, Scaling::SevenEighths, Scaling::ThreeQuarters, Scaling::Half] {
+        for s in [
+            Scaling::Unity,
+            Scaling::SevenEighths,
+            Scaling::ThreeQuarters,
+            Scaling::Half,
+        ] {
             assert!((s.factor() * s.alpha() - 1.0).abs() < 1e-6);
         }
     }
@@ -253,7 +262,11 @@ mod tests {
                     neg ^= x < 0;
                 }
                 let expect = if neg { -mag } else { mag };
-                assert_eq!(st.output(i as u32, Scaling::Unity), expect, "inputs {inputs:?} idx {i}");
+                assert_eq!(
+                    st.output(i as u32, Scaling::Unity),
+                    expect,
+                    "inputs {inputs:?} idx {i}"
+                );
             }
         }
     }

@@ -180,7 +180,7 @@ mod tests {
         for _ in 0..40 {
             // Mild background noise plus a handful of confidently wrong bits.
             let mut llrs: Vec<f32> = (0..code.n())
-                .map(|_| 2.5 + rng.gen_range(-0.8..0.8))
+                .map(|_| 2.5 + rng.gen_range(-0.8f32..0.8))
                 .collect();
             for _ in 0..6 {
                 llrs[rng.gen_range(0..code.n())] = -2.0;

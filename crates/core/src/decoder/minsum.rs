@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn names_reflect_variant() {
         let code = demo_code();
-        assert_eq!(MinSumDecoder::new(code.clone(), MinSumConfig::plain()).name(), "min-sum");
+        assert_eq!(
+            MinSumDecoder::new(code.clone(), MinSumConfig::plain()).name(),
+            "min-sum"
+        );
         assert_eq!(
             MinSumDecoder::new(code.clone(), MinSumConfig::normalized(1.5)).name(),
             "normalized min-sum"
@@ -284,10 +287,15 @@ mod tests {
     #[test]
     fn normalized_shrinks_magnitudes_vs_plain() {
         let code = demo_code();
-        let llrs: Vec<f32> = (0..code.n()).map(|i| if i % 7 == 0 { -1.0 } else { 2.0 }).collect();
-        let mut plain = MinSumDecoder::new(code.clone(), MinSumConfig::plain().with_early_stop(false));
-        let mut norm =
-            MinSumDecoder::new(code.clone(), MinSumConfig::normalized(2.0).with_early_stop(false));
+        let llrs: Vec<f32> = (0..code.n())
+            .map(|i| if i % 7 == 0 { -1.0 } else { 2.0 })
+            .collect();
+        let mut plain =
+            MinSumDecoder::new(code.clone(), MinSumConfig::plain().with_early_stop(false));
+        let mut norm = MinSumDecoder::new(
+            code.clone(),
+            MinSumConfig::normalized(2.0).with_early_stop(false),
+        );
         let _ = plain.decode(&llrs, 1);
         let _ = norm.decode(&llrs, 1);
         // After one iteration the normalized messages are exactly half.
@@ -300,8 +308,7 @@ mod tests {
     fn offset_never_flips_sign() {
         let code = demo_code();
         let llrs: Vec<f32> = (0..code.n()).map(|i| (i % 5) as f32 - 2.0).collect();
-        let mut dec =
-            MinSumDecoder::new(code, MinSumConfig::offset(10.0).with_early_stop(false));
+        let mut dec = MinSumDecoder::new(code, MinSumConfig::offset(10.0).with_early_stop(false));
         let _ = dec.decode(&llrs, 2);
         // A huge offset can zero magnitudes but never produce the wrong sign.
         for &m in &dec.cb {

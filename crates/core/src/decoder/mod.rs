@@ -25,10 +25,10 @@ mod spa;
 pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
 pub use bitflip::{GallagerBDecoder, WeightedBitFlipDecoder};
 pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
-pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;
 pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
+pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use spa::SumProductDecoder;
 
 use gf2::BitVec;
@@ -87,7 +87,10 @@ mod tests {
         vec![
             Box::new(SumProductDecoder::new(code.clone())),
             Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::plain())),
-            Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::normalized(1.25))),
+            Box::new(MinSumDecoder::new(
+                code.clone(),
+                MinSumConfig::normalized(1.25),
+            )),
             Box::new(MinSumDecoder::new(code.clone(), MinSumConfig::offset(0.15))),
             Box::new(FixedDecoder::new(code.clone(), FixedConfig::default())),
             Box::new(LayeredMinSumDecoder::new(code.clone(), 1.25)),
@@ -102,7 +105,12 @@ mod tests {
             let out = dec.decode(&llrs, 20);
             assert!(out.converged, "{} failed to converge", dec.name());
             assert!(out.hard_decision.is_zero(), "{} wrong output", dec.name());
-            assert!(out.iterations <= 2, "{} took {} iterations", dec.name(), out.iterations);
+            assert!(
+                out.iterations <= 2,
+                "{} took {} iterations",
+                dec.name(),
+                out.iterations
+            );
         }
     }
 
@@ -111,7 +119,9 @@ mod tests {
         let code = demo_code();
         let enc = Encoder::new(&code).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
-        let msg: Vec<u8> = (0..enc.dimension()).map(|_| rng.gen_range(0..2u8)).collect();
+        let msg: Vec<u8> = (0..enc.dimension())
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let cw = enc.encode_bits(&msg).unwrap();
         let llrs: Vec<f32> = (0..code.n())
             .map(|i| if cw.get(i) { -4.0 } else { 4.0 })
@@ -135,7 +145,11 @@ mod tests {
         for mut dec in all_decoders() {
             let out = dec.decode(&llrs, 50);
             assert!(out.converged, "{} did not converge", dec.name());
-            assert!(out.hard_decision.is_zero(), "{} failed to correct", dec.name());
+            assert!(
+                out.hard_decision.is_zero(),
+                "{} failed to correct",
+                dec.name()
+            );
         }
     }
 

@@ -134,7 +134,11 @@ impl Decoder for SelfCorrectedMinSumDecoder {
     fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
         let code = self.code.clone();
         let graph = code.graph();
-        assert_eq!(channel_llrs.len(), graph.n_bits(), "channel LLR length mismatch");
+        assert_eq!(
+            channel_llrs.len(),
+            graph.n_bits(),
+            "channel LLR length mismatch"
+        );
         for e in 0..graph.n_edges() {
             self.bc[e] = channel_llrs[graph.edge_bit(e)];
             self.prev_sign[e] = 0;
@@ -215,7 +219,7 @@ mod tests {
         let mut nms_ok = 0;
         for _ in 0..60 {
             let llrs: Vec<f32> = (0..code.n())
-                .map(|_| 1.1 + rng.gen_range(-1.6..1.0))
+                .map(|_| 1.1 + rng.gen_range(-1.6f32..1.0))
                 .collect();
             let mut sc = SelfCorrectedMinSumDecoder::new(code.clone(), 4.0 / 3.0);
             if sc.decode(&llrs, 30).converged {
@@ -227,7 +231,10 @@ mod tests {
             }
         }
         // Self-correction should hold its own (allow small statistical slack).
-        assert!(sc_ok + 3 >= nms_ok, "self-corrected {sc_ok} vs normalized {nms_ok}");
+        assert!(
+            sc_ok + 3 >= nms_ok,
+            "self-corrected {sc_ok} vs normalized {nms_ok}"
+        );
     }
 
     #[test]

@@ -199,7 +199,9 @@ mod tests {
     fn repeated_decoding_reuses_state_correctly() {
         let code = demo_code();
         let mut dec = SumProductDecoder::new(code.clone());
-        let llrs_bad: Vec<f32> = (0..code.n()).map(|i| if i % 3 == 0 { -1.0 } else { 2.0 }).collect();
+        let llrs_bad: Vec<f32> = (0..code.n())
+            .map(|i| if i % 3 == 0 { -1.0 } else { 2.0 })
+            .collect();
         let _ = dec.decode(&llrs_bad, 3);
         // A clean frame right after must decode perfectly (no state leak).
         let out = dec.decode(&vec![6.0; code.n()], 5);

@@ -60,7 +60,9 @@ impl Encoder {
         let dense = code.h().to_dense();
         // Pivot priority: parity region (last m columns) first, then the
         // information region left-to-right.
-        let order: Vec<usize> = (n.saturating_sub(m)..n).chain(0..n.saturating_sub(m)).collect();
+        let order: Vec<usize> = (n.saturating_sub(m)..n)
+            .chain(0..n.saturating_sub(m))
+            .collect();
         let rref = dense.rref_with_column_order(&order);
         let rank = rref.rank();
         if rank >= n {
@@ -198,7 +200,9 @@ mod tests {
         assert_eq!(enc.dimension(), code.dimension());
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            let msg: Vec<u8> = (0..enc.dimension()).map(|_| rng.gen_range(0..2u8)).collect();
+            let msg: Vec<u8> = (0..enc.dimension())
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
             let cw = enc.encode_bits(&msg).unwrap();
             assert!(code.is_codeword(&cw));
         }
@@ -262,7 +266,9 @@ mod tests {
             let code = random_c2_like(seed, 13, 4);
             let enc = Encoder::new(&code).unwrap();
             let mut rng = StdRng::seed_from_u64(seed + 100);
-            let msg: Vec<u8> = (0..enc.dimension()).map(|_| rng.gen_range(0..2u8)).collect();
+            let msg: Vec<u8> = (0..enc.dimension())
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
             let cw = enc.encode_bits(&msg).unwrap();
             assert!(code.is_codeword(&cw), "seed {seed}");
         }

@@ -55,7 +55,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::MessageLength { expected, actual } => {
-                write!(f, "message length {actual} does not match code dimension {expected}")
+                write!(
+                    f,
+                    "message length {actual} does not match code dimension {expected}"
+                )
             }
             Self::ZeroDimension => write!(f, "code has dimension zero"),
         }
@@ -74,7 +77,11 @@ mod tests {
             CodeError::EmptyMatrix.to_string(),
             CodeError::EmptyCheck { row: 3 }.to_string(),
             CodeError::UnprotectedBit { column: 7 }.to_string(),
-            EncodeError::MessageLength { expected: 4, actual: 5 }.to_string(),
+            EncodeError::MessageLength {
+                expected: 4,
+                actual: 5,
+            }
+            .to_string(),
             EncodeError::ZeroDimension.to_string(),
         ];
         for m in msgs {

@@ -36,7 +36,10 @@ impl LlrQuantizer {
     ///
     /// Panics if `bits` is not in `2..=15` or `step` is not positive.
     pub fn new(bits: u32, step: f32) -> Self {
-        assert!((2..=15).contains(&bits), "quantizer width must be in 2..=15 bits");
+        assert!(
+            (2..=15).contains(&bits),
+            "quantizer width must be in 2..=15 bits"
+        );
         assert!(step > 0.0, "quantizer step must be positive");
         Self {
             bits,

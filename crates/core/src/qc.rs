@@ -40,7 +40,10 @@ impl QcLdpcSpec {
     /// Panics if any dimension is zero.
     pub fn new(circulant_size: usize, block_rows: usize, block_cols: usize) -> Self {
         assert!(circulant_size > 0, "circulant size must be positive");
-        assert!(block_rows > 0 && block_cols > 0, "block dimensions must be positive");
+        assert!(
+            block_rows > 0 && block_cols > 0,
+            "block dimensions must be positive"
+        );
         Self {
             circulant_size,
             block_rows,
@@ -58,10 +61,7 @@ impl QcLdpcSpec {
     ///
     /// Panics if the nested slice dimensions disagree with
     /// `block_rows × block_cols` or any position is out of range.
-    pub fn from_first_rows(
-        circulant_size: usize,
-        first_rows: &[Vec<Vec<u32>>],
-    ) -> Self {
+    pub fn from_first_rows(circulant_size: usize, first_rows: &[Vec<Vec<u32>>]) -> Self {
         let block_rows = first_rows.len();
         assert!(block_rows > 0, "need at least one block row");
         let block_cols = first_rows[0].len();
@@ -112,12 +112,11 @@ impl QcLdpcSpec {
     ///
     /// Panics if indices are out of range or the circulant size disagrees.
     pub fn set_block(&mut self, r: usize, c: usize, block: Circulant) {
-        assert!(r < self.block_rows && c < self.block_cols, "block index out of range");
-        assert_eq!(
-            block.size(),
-            self.circulant_size,
-            "circulant size mismatch"
+        assert!(
+            r < self.block_rows && c < self.block_cols,
+            "block index out of range"
         );
+        assert_eq!(block.size(), self.circulant_size, "circulant size mismatch");
         self.blocks[r * self.block_cols + c] = block;
     }
 
@@ -127,7 +126,10 @@ impl QcLdpcSpec {
     ///
     /// Panics if indices are out of range.
     pub fn block(&self, r: usize, c: usize) -> &Circulant {
-        assert!(r < self.block_rows && c < self.block_cols, "block index out of range");
+        assert!(
+            r < self.block_rows && c < self.block_cols,
+            "block index out of range"
+        );
         &self.blocks[r * self.block_cols + c]
     }
 

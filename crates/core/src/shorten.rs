@@ -180,7 +180,10 @@ mod tests {
     fn dimensions_and_rate_shrink() {
         let s = shortened(40);
         assert_eq!(s.shortened(), 40);
-        assert_eq!(s.info_len() + 40, Encoder::new(&demo_code()).unwrap().dimension());
+        assert_eq!(
+            s.info_len() + 40,
+            Encoder::new(&demo_code()).unwrap().dimension()
+        );
         assert_eq!(s.transmitted_len(), demo_code().n() - 40);
         assert!(s.rate() < s.mother_rate());
         assert_eq!(s.pinned_positions().len(), 40);
@@ -206,13 +209,12 @@ mod tests {
         let info: Vec<u8> = (0..s.info_len()).map(|_| rng.gen_range(0..2u8)).collect();
         let cw = s.encode(&info).unwrap();
         // Transmit only the unpinned positions with mild noise.
-        let pinned: std::collections::HashSet<u32> =
-            s.pinned_positions().into_iter().collect();
+        let pinned: std::collections::HashSet<u32> = s.pinned_positions().into_iter().collect();
         let received: Vec<f32> = (0..s.code().n())
             .filter(|i| !pinned.contains(&(*i as u32)))
             .map(|i| {
                 let sign = if cw.get(i) { -1.0f32 } else { 1.0 };
-                sign * (2.0 + rng.gen_range(-0.8..0.8))
+                sign * (2.0 + rng.gen_range(-0.8f32..0.8))
             })
             .collect();
         let llrs = s.expand_llrs(&received);
@@ -233,15 +235,14 @@ mod tests {
         let mut short_fails = 0;
         for _ in 0..40 {
             let noise: Vec<f32> = (0..mother.n())
-                .map(|_| 1.2 + rng.gen_range(-1.6..1.0))
+                .map(|_| 1.2 + rng.gen_range(-1.6f32..1.0))
                 .collect();
             let mut dec = MinSumDecoder::new(mother.clone(), MinSumConfig::normalized(1.25));
             if !dec.decode(&noise, 30).converged {
                 mother_fails += 1;
             }
             // Same noise on the transmitted positions, certainty on pinned.
-            let pinned: std::collections::HashSet<u32> =
-                s.pinned_positions().into_iter().collect();
+            let pinned: std::collections::HashSet<u32> = s.pinned_positions().into_iter().collect();
             let received: Vec<f32> = (0..mother.n())
                 .filter(|i| !pinned.contains(&(*i as u32)))
                 .map(|i| noise[i])

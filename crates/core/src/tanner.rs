@@ -234,9 +234,15 @@ impl TannerGraph {
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             let neighbours: Vec<usize> = if u < self.n_bits {
-                self.bn_checks(u).iter().map(|&c| self.n_bits + c as usize).collect()
+                self.bn_checks(u)
+                    .iter()
+                    .map(|&c| self.n_bits + c as usize)
+                    .collect()
             } else {
-                self.cn_bits(u - self.n_bits).iter().map(|&b| b as usize).collect()
+                self.cn_bits(u - self.n_bits)
+                    .iter()
+                    .map(|&b| b as usize)
+                    .collect()
             };
             for v in neighbours {
                 if dist[v] == u32::MAX {
@@ -264,9 +270,18 @@ mod tests {
             3,
             7,
             &[
-                (0, 0), (0, 1), (0, 2), (0, 4),
-                (1, 1), (1, 2), (1, 3), (1, 5),
-                (2, 0), (2, 2), (2, 3), (2, 6),
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (1, 5),
+                (2, 0),
+                (2, 2),
+                (2, 3),
+                (2, 6),
             ],
         )
     }
@@ -320,7 +335,11 @@ mod tests {
         for pattern in 0u32..128 {
             let bits: Vec<u8> = (0..7).map(|i| ((pattern >> i) & 1) as u8).collect();
             let v = BitVec::from_bits(&bits);
-            assert_eq!(g.syndrome_ok(&bits), h.in_nullspace(&v), "pattern {pattern:07b}");
+            assert_eq!(
+                g.syndrome_ok(&bits),
+                h.in_nullspace(&v),
+                "pattern {pattern:07b}"
+            );
         }
     }
 

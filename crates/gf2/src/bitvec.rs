@@ -110,7 +110,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -121,7 +125,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -137,7 +145,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn flip(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
         self.get(i)
     }
@@ -159,7 +171,8 @@ impl BitVec {
     /// Panics if the lengths differ; see [`BitVec::try_xor_assign`] for the
     /// checked variant.
     pub fn xor_assign(&mut self, other: &Self) {
-        self.try_xor_assign(other).expect("BitVec::xor_assign length mismatch");
+        self.try_xor_assign(other)
+            .expect("BitVec::xor_assign length mismatch");
     }
 
     /// Checked XOR-assign.
@@ -471,7 +484,10 @@ mod tests {
     #[test]
     fn first_one_finds_lowest() {
         assert_eq!(BitVec::zeros(10).first_one(), None);
-        assert_eq!(BitVec::from_indices(200, &[130, 131]).first_one(), Some(130));
+        assert_eq!(
+            BitVec::from_indices(200, &[130, 131]).first_one(),
+            Some(130)
+        );
     }
 
     #[test]

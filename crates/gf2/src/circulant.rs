@@ -43,7 +43,10 @@ impl Circulant {
         first_row.sort_unstable();
         first_row.dedup();
         if let Some(&max) = first_row.last() {
-            assert!((max as usize) < size, "position {max} out of range for size {size}");
+            assert!(
+                (max as usize) < size,
+                "position {max} out of range for size {size}"
+            );
         }
         Self { size, first_row }
     }
@@ -132,8 +135,22 @@ impl Circulant {
     /// Panics if the sizes differ.
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!(self.size, other.size, "circulant size mismatch");
-        let a = BitVec::from_indices(self.size, &self.first_row.iter().map(|&p| p as usize).collect::<Vec<_>>());
-        let b = BitVec::from_indices(self.size, &other.first_row.iter().map(|&p| p as usize).collect::<Vec<_>>());
+        let a = BitVec::from_indices(
+            self.size,
+            &self
+                .first_row
+                .iter()
+                .map(|&p| p as usize)
+                .collect::<Vec<_>>(),
+        );
+        let b = BitVec::from_indices(
+            self.size,
+            &other
+                .first_row
+                .iter()
+                .map(|&p| p as usize)
+                .collect::<Vec<_>>(),
+        );
         let sum = &a ^ &b;
         let positions: Vec<u32> = sum.iter_ones().map(|p| p as u32).collect();
         Self::new(self.size, &positions)

@@ -175,7 +175,11 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.cols, "DenseMatrix::mul_vec dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "DenseMatrix::mul_vec dimension mismatch"
+        );
         let mut y = BitVec::zeros(self.rows);
         for (r, row) in self.data.iter().enumerate() {
             if row.dot(x) {
@@ -191,7 +195,11 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn vec_mul(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.rows, "DenseMatrix::vec_mul dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "DenseMatrix::vec_mul dimension mismatch"
+        );
         let mut y = BitVec::zeros(self.cols);
         for r in x.iter_ones() {
             y.xor_assign(&self.data[r]);
@@ -205,10 +213,7 @@ impl DenseMatrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn mul(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.cols, other.rows,
-            "DenseMatrix::mul dimension mismatch"
-        );
+        assert_eq!(self.cols, other.rows, "DenseMatrix::mul dimension mismatch");
         let data = self
             .data
             .iter()
@@ -291,7 +296,11 @@ impl DenseMatrix {
     ///
     /// Panics if `col_order` is not a permutation of the column indices.
     pub fn rref_with_column_order(&self, col_order: &[usize]) -> Rref {
-        assert_eq!(col_order.len(), self.cols, "col_order must cover all columns");
+        assert_eq!(
+            col_order.len(),
+            self.cols,
+            "col_order must cover all columns"
+        );
         let mut seen = vec![false; self.cols];
         for &c in col_order {
             assert!(c < self.cols && !seen[c], "col_order must be a permutation");
@@ -320,7 +329,10 @@ impl DenseMatrix {
             pivot_cols.push(col);
             next_row += 1;
         }
-        Rref { matrix: m, pivot_cols }
+        Rref {
+            matrix: m,
+            pivot_cols,
+        }
     }
 
     /// Rank of the matrix.
@@ -500,10 +512,8 @@ mod tests {
     #[test]
     fn solve_detects_inconsistency() {
         // rows: [1 0], [1 0] ; b = [1, 0] is inconsistent.
-        let a = DenseMatrix::from_rows(vec![
-            BitVec::from_bits(&[1, 0]),
-            BitVec::from_bits(&[1, 0]),
-        ]);
+        let a =
+            DenseMatrix::from_rows(vec![BitVec::from_bits(&[1, 0]), BitVec::from_bits(&[1, 0])]);
         let b = BitVec::from_bits(&[1, 0]);
         assert!(a.solve(&b).is_none());
     }

@@ -54,7 +54,11 @@ impl SparseMatrix {
             }
             *cols_of_row = out;
         }
-        Self { rows, cols, row_idx }
+        Self {
+            rows,
+            cols,
+            row_idx,
+        }
     }
 
     /// Builds a matrix from per-row sorted column index lists.
@@ -184,7 +188,11 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.cols, "SparseMatrix::mul_vec dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "SparseMatrix::mul_vec dimension mismatch"
+        );
         let mut y = BitVec::zeros(self.rows);
         for (r, row) in self.row_idx.iter().enumerate() {
             let mut parity = false;
@@ -204,7 +212,11 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn in_nullspace(&self, x: &BitVec) -> bool {
-        assert_eq!(x.len(), self.cols, "SparseMatrix::in_nullspace dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "SparseMatrix::in_nullspace dimension mismatch"
+        );
         self.row_idx.iter().all(|row| {
             let mut parity = false;
             for &c in row {
@@ -300,7 +312,10 @@ mod tests {
     fn iter_entries_row_major() {
         let m = example();
         let entries: Vec<_> = m.iter_entries().collect();
-        assert_eq!(entries, vec![(0, 0), (0, 2), (1, 1), (1, 2), (2, 3), (2, 4)]);
+        assert_eq!(
+            entries,
+            vec![(0, 0), (0, 2), (1, 1), (1, 2), (2, 3), (2, 4)]
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Cycle-driven simulation of the generic parallel architecture.
 
-use crate::{ArchConfig, MessageStorage, ThroughputModel, CodeDims};
+use crate::{ArchConfig, CodeDims, MessageStorage, ThroughputModel};
 use gf2::BitVec;
 use ldpc_core::decoder::kernels::{bn_output, bn_posterior, cn_scan, saturate};
 use ldpc_core::{DecodeResult, LdpcCode};
@@ -283,10 +283,7 @@ mod tests {
             assert_eq!(grouped.results[i], single.results[0], "frame {i}");
         }
         // Same cycles regardless of how many lanes are filled.
-        assert_eq!(
-            grouped.cycles,
-            sim.decode(&frames[..1], 10).cycles
-        );
+        assert_eq!(grouped.cycles, sim.decode(&frames[..1], 10).cycles);
     }
 
     #[test]

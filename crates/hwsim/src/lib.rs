@@ -52,8 +52,10 @@ mod throughput;
 
 pub use arch::{ArchConfig, CodeDims, MessageStorage};
 pub use decoder_sim::{ArchSimulator, SimOutcome};
-pub use devices::{devices, FpgaDevice, Utilization, CYCLONE_II_EP2C35, CYCLONE_II_EP2C50,
-    STRATIX_II_EP2S180, STRATIX_II_EP2S60};
+pub use devices::{
+    devices, FpgaDevice, Utilization, CYCLONE_II_EP2C35, CYCLONE_II_EP2C50, STRATIX_II_EP2S180,
+    STRATIX_II_EP2S60,
+};
 pub use memory::{MemoryBank, MemoryPlan};
 pub use planner::{plan, PlannerChoice, PlannerRequest};
 pub use power::{estimate_power, estimate_power_via_simulation, PowerEstimate};

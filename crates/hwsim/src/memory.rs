@@ -68,7 +68,9 @@ impl MemoryPlan {
                 // Compressed CN record: two magnitudes, an argmin index and
                 // one sign bit per edge of the check.
                 let mag_bits = q_msg - 1;
-                let argmin_bits = (dims.max_cn_degree as u64).next_power_of_two().trailing_zeros() as u64;
+                let argmin_bits = (dims.max_cn_degree as u64)
+                    .next_power_of_two()
+                    .trailing_zeros() as u64;
                 let record = 2 * mag_bits + argmin_bits + dims.max_cn_degree as u64;
                 banks.push(MemoryBank {
                     name: "check state memory".to_owned(),
@@ -113,7 +115,14 @@ impl MemoryPlan {
 impl fmt::Display for MemoryPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for b in &self.banks {
-            writeln!(f, "{:>22}: {:>7} x {:>3} b = {:>9} bits", b.name, b.words, b.width_bits, b.bits())?;
+            writeln!(
+                f,
+                "{:>22}: {:>7} x {:>3} b = {:>9} bits",
+                b.name,
+                b.words,
+                b.width_bits,
+                b.bits()
+            )?;
         }
         write!(f, "{:>22}: {:>21} bits", "total", self.total_bits())
     }

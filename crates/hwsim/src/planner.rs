@@ -6,7 +6,9 @@
 //! turning the parallelism / frame-packing / storage knobs. The planner
 //! sweeps those knobs and returns the Pareto choice for a requirement.
 
-use crate::{devices, ArchConfig, CodeDims, FpgaDevice, MessageStorage, ResourceEstimate, ThroughputModel};
+use crate::{
+    devices, ArchConfig, CodeDims, FpgaDevice, MessageStorage, ResourceEstimate, ThroughputModel,
+};
 
 /// A throughput requirement to plan for.
 #[derive(Debug, Clone, Copy)]
@@ -74,7 +76,11 @@ pub fn plan(request: &PlannerRequest, dims: &CodeDims) -> Option<PlannerChoice> 
             None => true,
             Some(b) => {
                 (device.logic_cells, estimate.aluts, estimate.memory_bits)
-                    < (b.device.logic_cells, b.estimate.aluts, b.estimate.memory_bits)
+                    < (
+                        b.device.logic_cells,
+                        b.estimate.aluts,
+                        b.estimate.memory_bits,
+                    )
             }
         };
         if better {
@@ -111,7 +117,11 @@ mod tests {
         .expect("70 Mbps must be plannable");
         assert!(choice.info_mbps >= 70.0);
         // Fits on a Cyclone II class device.
-        assert!(choice.device.logic_cells <= 50_528, "device {}", choice.device.name);
+        assert!(
+            choice.device.logic_cells <= 50_528,
+            "device {}",
+            choice.device.name
+        );
     }
 
     #[test]
@@ -146,12 +156,20 @@ mod tests {
     #[test]
     fn tighter_requirement_never_selects_smaller_design() {
         let loose = plan(
-            &PlannerRequest { min_info_mbps: 30.0, iterations: 18, clock_mhz: 200.0 },
+            &PlannerRequest {
+                min_info_mbps: 30.0,
+                iterations: 18,
+                clock_mhz: 200.0,
+            },
             &c2(),
         )
         .unwrap();
         let tight = plan(
-            &PlannerRequest { min_info_mbps: 300.0, iterations: 18, clock_mhz: 200.0 },
+            &PlannerRequest {
+                min_info_mbps: 300.0,
+                iterations: 18,
+                clock_mhz: 200.0,
+            },
             &c2(),
         )
         .unwrap();
@@ -163,17 +181,28 @@ mod tests {
         // Halving the clock halves throughput: a plan feasible at 200 MHz
         // for X Mbps needs more parallelism at 100 MHz.
         let fast = plan(
-            &PlannerRequest { min_info_mbps: 100.0, iterations: 18, clock_mhz: 200.0 },
+            &PlannerRequest {
+                min_info_mbps: 100.0,
+                iterations: 18,
+                clock_mhz: 200.0,
+            },
             &c2(),
         )
         .unwrap();
         let slow = plan(
-            &PlannerRequest { min_info_mbps: 100.0, iterations: 18, clock_mhz: 100.0 },
+            &PlannerRequest {
+                min_info_mbps: 100.0,
+                iterations: 18,
+                clock_mhz: 100.0,
+            },
             &c2(),
         )
         .unwrap();
         let fast_tp = fast.info_mbps / 200.0;
         let slow_tp = slow.info_mbps / 100.0;
-        assert!(slow_tp >= fast_tp * 0.99, "slow plan must compensate with parallelism");
+        assert!(
+            slow_tp >= fast_tp * 0.99,
+            "slow plan must compensate with parallelism"
+        );
     }
 }

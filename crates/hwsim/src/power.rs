@@ -8,7 +8,7 @@
 //! (Cyclone II / Stratix II era) and are documented, not calibrated —
 //! treat absolute milliwatts as indicative only.
 
-use crate::{ArchSimulator, ArchConfig, CodeDims, ResourceEstimate};
+use crate::{ArchConfig, ArchSimulator, CodeDims, ResourceEstimate};
 
 /// Dynamic energy per memory-word access, in picojoules (90 nm block RAM,
 /// tens of bits per word).

@@ -85,8 +85,16 @@ mod tests {
         // Paper Table 2: 8k ALUTs (16%), 6k registers (12%), 290k bits (50%)
         // on a Cyclone II EP2C50F.
         let est = ResourceEstimate::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
-        assert!((est.aluts as i64 - 8_000).abs() < 500, "aluts {}", est.aluts);
-        assert!((est.registers as i64 - 6_000).abs() < 500, "regs {}", est.registers);
+        assert!(
+            (est.aluts as i64 - 8_000).abs() < 500,
+            "aluts {}",
+            est.aluts
+        );
+        assert!(
+            (est.registers as i64 - 6_000).abs() < 500,
+            "regs {}",
+            est.registers
+        );
         assert_eq!(est.memory_bits, 286_160);
         let u = CYCLONE_II_EP2C50.utilization(&est);
         assert!((u.logic_pct - 16.0).abs() < 2.0, "logic {u}");
@@ -100,8 +108,16 @@ mod tests {
         // Paper Table 3: 38k ALUTs (27%), 30k registers (20%), 1300kb
         // on a Stratix II EP2S180.
         let est = ResourceEstimate::new(&ArchConfig::high_speed(), &CodeDims::ccsds_c2());
-        assert!((est.aluts as i64 - 38_000).abs() < 1_500, "aluts {}", est.aluts);
-        assert!((est.registers as i64 - 30_000).abs() < 1_500, "regs {}", est.registers);
+        assert!(
+            (est.aluts as i64 - 38_000).abs() < 1_500,
+            "aluts {}",
+            est.aluts
+        );
+        assert!(
+            (est.registers as i64 - 30_000).abs() < 1_500,
+            "regs {}",
+            est.registers
+        );
         assert_eq!(est.memory_bits, 1_299_984);
         let u = STRATIX_II_EP2S180.utilization(&est);
         assert!((u.logic_pct - 27.0).abs() < 2.0, "logic {u}");
@@ -123,7 +139,10 @@ mod tests {
             "logic ratio {logic_ratio}"
         );
         let mem_ratio = hs.memory_bits as f64 / lc.memory_bits as f64;
-        assert!(mem_ratio < 8.0, "memory ratio {mem_ratio} not better than linear");
+        assert!(
+            mem_ratio < 8.0,
+            "memory ratio {mem_ratio} not better than linear"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl MessageBankLayout {
     ///
     /// Panics if `m` is out of range.
     pub fn cn_access(&self, m: usize) -> WordAccess {
-        assert!(m < self.block_rows * self.circulant_size, "check out of range");
+        assert!(
+            m < self.block_rows * self.circulant_size,
+            "check out of range"
+        );
         WordAccess {
             bank: m / self.circulant_size,
             address: m % self.circulant_size,
@@ -109,7 +112,10 @@ impl MessageBankLayout {
     ///
     /// Panics if `bit` is out of range.
     pub fn bn_accesses(&self, bit: usize) -> Vec<WordAccess> {
-        assert!(bit < self.block_cols * self.circulant_size, "bit out of range");
+        assert!(
+            bit < self.block_cols * self.circulant_size,
+            "bit out of range"
+        );
         let block_col = bit / self.circulant_size;
         let j = bit % self.circulant_size;
         let mut accesses = Vec::new();
@@ -189,7 +195,9 @@ impl MessageBankLayout {
                 let accesses = self.bn_accesses(block_col * self.circulant_size + j);
                 let runs = self.bn_group_runs(block_col, j, 1);
                 for a in &accesses {
-                    let hit = runs.iter().any(|r| r.bank == a.bank && r.start == a.address);
+                    let hit = runs
+                        .iter()
+                        .any(|r| r.bank == a.bank && r.start == a.address);
                     assert!(hit, "access {a:?} outside its runs");
                 }
                 verified += accesses.len();
@@ -260,9 +268,9 @@ mod tests {
         // The runs cover exactly the addresses of the 16 individual bits.
         for k in 0..16usize {
             for a in layout.bn_accesses(3 * 511 + 100 + k) {
-                let ok = runs.iter().any(|r| {
-                    r.bank == a.bank && (a.address + 511 - r.start) % 511 < r.len
-                });
+                let ok = runs
+                    .iter()
+                    .any(|r| r.bank == a.bank && (a.address + 511 - r.start) % 511 < r.len);
                 assert!(ok, "bit offset {k}: access {a:?} outside runs");
             }
         }

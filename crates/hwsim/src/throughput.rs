@@ -188,7 +188,10 @@ mod tests {
             ArchConfig::low_cost().with_clock_mhz(100.0),
             CodeDims::ccsds_c2(),
         );
-        assert!((m100.info_throughput_mbps(18) * 2.0 - low_cost().info_throughput_mbps(18)).abs() < 1e-9);
+        assert!(
+            (m100.info_throughput_mbps(18) * 2.0 - low_cost().info_throughput_mbps(18)).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -4,17 +4,19 @@
 
 use ldpc_core::codes::small::demo_code;
 use ldpc_core::FixedDecoder;
-use ldpc_hwsim::{ArchConfig, ArchSimulator, CodeDims, MemoryPlan, MessageStorage, ThroughputModel};
+use ldpc_hwsim::{
+    ArchConfig, ArchSimulator, CodeDims, MemoryPlan, MessageStorage, ThroughputModel,
+};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ArchConfig> {
     (
-        1usize..=8,             // cn parallelism
+        1usize..=8,                                        // cn parallelism
         prop::sample::select(vec![4usize, 8, 12, 16, 31]), // bn parallelism
-        1usize..=8,             // frames per word
-        prop::bool::ANY,        // storage
-        prop::bool::ANY,        // io overlap
-        0usize..=64,            // pipeline depth
+        1usize..=8,                                        // frames per word
+        prop::bool::ANY,                                   // storage
+        prop::bool::ANY,                                   // io overlap
+        0usize..=64,                                       // pipeline depth
     )
         .prop_map(|(cn, bn, frames, compressed, io_overlap, pipe)| {
             let mut cfg = ArchConfig::low_cost()

@@ -51,7 +51,10 @@ where
     D: Decoder,
 {
     assert!(lo_db < hi_db, "invalid bisection bracket");
-    assert!(target_per > 0.0 && target_per < 1.0, "target PER must be in (0,1)");
+    assert!(
+        target_per > 0.0 && target_per < 1.0,
+        "target PER must be in (0,1)"
+    );
     assert!(steps > 0, "need at least one bisection step");
     let mut lo = lo_db;
     let mut hi = hi_db;
@@ -101,8 +104,12 @@ where
     Da: Decoder,
     Db: Decoder,
 {
-    let a = ebn0_at_per(code, encoder, cfg, target_per, lo_db, hi_db, steps, factory_a);
-    let b = ebn0_at_per(code, encoder, cfg, target_per, lo_db, hi_db, steps, factory_b);
+    let a = ebn0_at_per(
+        code, encoder, cfg, target_per, lo_db, hi_db, steps, factory_a,
+    );
+    let b = ebn0_at_per(
+        code, encoder, cfg, target_per, lo_db, hi_db, steps, factory_b,
+    );
     (b.ebn0_db - a.ebn0_db, a, b)
 }
 
@@ -131,7 +138,11 @@ mod tests {
         let t = ebn0_at_per(&code, None, &cfg(), 0.1, 0.0, 8.0, 5, || {
             MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
         });
-        assert!(t.ebn0_db > 0.5 && t.ebn0_db < 7.5, "threshold {}", t.ebn0_db);
+        assert!(
+            t.ebn0_db > 0.5 && t.ebn0_db < 7.5,
+            "threshold {}",
+            t.ebn0_db
+        );
         assert_eq!(t.probes.len(), 5);
     }
 
@@ -168,7 +179,10 @@ mod tests {
             || MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0)),
             || MinSumDecoder::new(demo_code(), MinSumConfig::plain()),
         );
-        assert!(gain > -0.3, "normalized should not lose to plain: gain {gain} dB");
+        assert!(
+            gain > -0.3,
+            "normalized should not lose to plain: gain {gain} dB"
+        );
     }
 
     #[test]

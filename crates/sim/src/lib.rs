@@ -151,7 +151,11 @@ impl PointResult {
 
     /// 95 % Wilson confidence interval on the bit-error rate.
     pub fn ber_confidence(&self) -> (f64, f64) {
-        wilson_interval(self.bit_errors, self.frames * self.info_bits_per_frame, 1.96)
+        wilson_interval(
+            self.bit_errors,
+            self.frames * self.info_bits_per_frame,
+            1.96,
+        )
     }
 }
 
@@ -202,10 +206,7 @@ where
 {
     assert!(cfg.max_frames > 0, "max_frames must be positive");
     if cfg.transmission == Transmission::Random {
-        assert!(
-            encoder.is_some(),
-            "random transmission requires an encoder"
-        );
+        assert!(encoder.is_some(), "random transmission requires an encoder");
     }
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -243,7 +244,9 @@ where
             scope.spawn(move || {
                 let mut decoder = factory();
                 // Disjoint deterministic streams per worker.
-                let worker_seed = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                let worker_seed = cfg
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
                 let mut channel = AwgnChannel::new(sigma, worker_seed);
                 let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
                 let zero = BitVec::zeros(code.n());
@@ -261,8 +264,9 @@ where
                         Transmission::AllZero => zero.clone(),
                         Transmission::Random => {
                             let enc = encoder.as_ref().expect("checked above");
-                            let msg: BitVec =
-                                (0..enc.dimension()).map(|_| msg_rng.gen_bool(0.5)).collect();
+                            let msg: BitVec = (0..enc.dimension())
+                                .map(|_| msg_rng.gen_bool(0.5))
+                                .collect();
                             enc.encode(&msg).expect("message length matches dimension")
                         }
                     };

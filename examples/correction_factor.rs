@@ -10,7 +10,9 @@
 
 use ccsds_ldpc::channel::ebn0_to_mean_llr;
 use ccsds_ldpc::core::codes::small::demo_code;
-use ccsds_ldpc::core::decoder::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
+use ccsds_ldpc::core::decoder::{
+    fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling,
+};
 use ccsds_ldpc::core::{MinSumConfig, MinSumDecoder};
 use ccsds_ldpc::sim::{run_point, MonteCarloConfig, Transmission};
 use rand::rngs::StdRng;
@@ -33,7 +35,13 @@ fn main() {
     let channel_mean = ebn0_to_mean_llr(4.0, 7154.0 / 8176.0);
     let schedule = fine_alpha_schedule(32, 4, channel_mean, 8, 20_000, &mut rng);
     println!("\nfine alpha schedule at Eb/N0 = 4 dB (channel mean {channel_mean:.1} LLR):");
-    println!("  {:?}", schedule.iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        schedule
+            .iter()
+            .map(|a| (a * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
     // --- 18 iterations with the factor vs 50 without (paper §5). ---
     let code = demo_code();
@@ -70,7 +78,9 @@ fn main() {
         scaled.frames
     );
     if scaled.per() <= plain.per() * 1.3 {
-        println!("  -> 18 scaled iterations match (or beat) 50 plain iterations, as the paper reports");
+        println!(
+            "  -> 18 scaled iterations match (or beat) 50 plain iterations, as the paper reports"
+        );
     } else {
         println!("  -> statistics too thin at this depth; the bench harness (e5) runs deeper");
     }

@@ -23,8 +23,15 @@ fn trace_at(ebn0_db: f64) {
 
     let mut decoder = FixedDecoder::new(code.clone(), cfg);
     let (out, trace) = decoder.decode_quantized_traced(&quantized, 18);
-    println!("\nEb/N0 = {ebn0_db} dB — converged = {}, {} iterations traced", out.converged, trace.iterations.len());
-    println!("{:>5} {:>14} {:>10} {:>12}", "iter", "unsat checks", "bit flips", "saturated");
+    println!(
+        "\nEb/N0 = {ebn0_db} dB — converged = {}, {} iterations traced",
+        out.converged,
+        trace.iterations.len()
+    );
+    println!(
+        "{:>5} {:>14} {:>10} {:>12}",
+        "iter", "unsat checks", "bit flips", "saturated"
+    );
     for (i, s) in trace.iterations.iter().enumerate() {
         println!(
             "{:>5} {:>14} {:>10} {:>11.1}%",

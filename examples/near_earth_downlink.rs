@@ -30,7 +30,9 @@ fn main() {
     let mut bit_errors = 0u64;
     let mut total_iters = 0u64;
     for f in 0..frames {
-        let info: Vec<u8> = (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect();
+        let info: Vec<u8> = (0..ccsds_c2::K_INFO)
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let codeword = ccsds_c2::encode_frame(&info).expect("valid frame length");
         let llrs = channel.transmit_codeword(&codeword);
         let out = decoder.decode(&llrs, iterations);
@@ -41,12 +43,23 @@ fn main() {
         if errs > 0 {
             frame_errors += 1;
             bit_errors += errs;
-            println!("frame {f:3}: FAILED ({errs} info-bit errors, converged={})", out.converged);
+            println!(
+                "frame {f:3}: FAILED ({errs} info-bit errors, converged={})",
+                out.converged
+            );
         }
     }
     let total_bits = (frames * ccsds_c2::K_INFO) as f64;
-    println!("link quality : BER = {:.2e}, FER = {}/{}", bit_errors as f64 / total_bits, frame_errors, frames);
-    println!("avg iterations (with early stop): {:.1}\n", total_iters as f64 / frames as f64);
+    println!(
+        "link quality : BER = {:.2e}, FER = {}/{}",
+        bit_errors as f64 / total_bits,
+        frame_errors,
+        frames
+    );
+    println!(
+        "avg iterations (with early stop): {:.1}\n",
+        total_iters as f64 / frames as f64
+    );
 
     // What data rate would the paper's hardware sustain on this stream?
     let dims = CodeDims::ccsds_c2();

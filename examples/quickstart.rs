@@ -9,19 +9,37 @@ use ccsds_ldpc::core::{Decoder, FixedConfig, FixedDecoder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+// `pub` so tests/quickstart_smoke.rs can include this file as a module and
+// run it under `cargo test`.
+pub fn main() {
     // --- The code (paper §2.2, Figures 1-2). ---
     let code = ccsds_c2::code();
     println!("code: {}", code.name());
-    println!("  n = {} bits, checks = {}, edges = {}", code.n(), code.n_checks(), code.graph().n_edges());
-    println!("  rank(H) = {} -> dimension {} (rate {:.4})", code.rank(), code.dimension(), code.rate());
+    println!(
+        "  n = {} bits, checks = {}, edges = {}",
+        code.n(),
+        code.n_checks(),
+        code.graph().n_edges()
+    );
+    println!(
+        "  rank(H) = {} -> dimension {} (rate {:.4})",
+        code.rank(),
+        code.dimension(),
+        code.rate()
+    );
     println!("  row weight = 32, column weight = 4 (quasi-cyclic, 2x16 circulants of 511)");
 
     // --- Encode a random 7154-bit telemetry frame. ---
     let mut rng = StdRng::seed_from_u64(2009);
-    let info: Vec<u8> = (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect();
+    let info: Vec<u8> = (0..ccsds_c2::K_INFO)
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let codeword = ccsds_c2::encode_frame(&info).expect("frame has the right length");
-    println!("\nencoded {} info bits into an {}-bit codeword", info.len(), codeword.len());
+    println!(
+        "\nencoded {} info bits into an {}-bit codeword",
+        info.len(),
+        codeword.len()
+    );
 
     // --- Transmit at 4.2 dB Eb/N0 over BPSK/AWGN. ---
     let ebn0_db = 4.2;
@@ -32,7 +50,10 @@ fn main() {
         .enumerate()
         .filter(|(i, &l)| (l < 0.0) != codeword.get(*i))
         .count();
-    println!("channel: Eb/N0 = {ebn0_db} dB, sigma = {:.4}, raw bit errors = {raw_errors}", channel.sigma());
+    println!(
+        "channel: Eb/N0 = {ebn0_db} dB, sigma = {:.4}, raw bit errors = {raw_errors}",
+        channel.sigma()
+    );
 
     // --- Decode with the hardware datapath (18 iterations, paper §4). ---
     let mut decoder = FixedDecoder::new(code.clone(), FixedConfig::default());
@@ -46,7 +67,13 @@ fn main() {
         out.converged,
         out.iterations
     );
-    assert!(out.converged, "4.2 dB is well inside the waterfall; decode should succeed");
+    assert!(
+        out.converged,
+        "4.2 dB is well inside the waterfall; decode should succeed"
+    );
     assert_eq!(residual, 0);
-    println!("frame recovered exactly — all {} parity checks satisfied", code.n_checks());
+    println!(
+        "frame recovered exactly — all {} parity checks satisfied",
+        code.n_checks()
+    );
 }

@@ -61,7 +61,9 @@ fn puncturing_costs_signal_but_code_still_works() {
     let enc = Encoder::new(&code).unwrap();
     let msg: BitVec = (0..enc.dimension()).map(|i| i % 2 == 0).collect();
     let cw = enc.encode(&msg).unwrap();
-    let full_llrs: Vec<f32> = (0..code.n()).map(|i| if cw.get(i) { -4.0 } else { 4.0 }).collect();
+    let full_llrs: Vec<f32> = (0..code.n())
+        .map(|i| if cw.get(i) { -4.0 } else { 4.0 })
+        .collect();
     let mut erased = full_llrs.clone();
     for llr in erased.iter_mut().skip(ar4ja.transmitted_len()) {
         *llr = 0.0;

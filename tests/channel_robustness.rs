@@ -26,7 +26,10 @@ fn decoders_work_on_bsc_input() {
             decoded += 1;
         }
     }
-    assert!(decoded >= trials - 2, "only {decoded}/{trials} BSC frames decoded");
+    assert!(
+        decoded >= trials - 2,
+        "only {decoded}/{trials} BSC frames decoded"
+    );
 }
 
 #[test]
@@ -43,7 +46,10 @@ fn decoders_survive_rayleigh_fading() {
             decoded += 1;
         }
     }
-    assert!(decoded >= trials * 2 / 3, "only {decoded}/{trials} faded frames decoded");
+    assert!(
+        decoded >= trials * 2 / 3,
+        "only {decoded}/{trials} faded frames decoded"
+    );
 }
 
 #[test]

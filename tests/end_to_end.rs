@@ -29,9 +29,13 @@ fn decoders(code: std::sync::Arc<ccsds_ldpc::core::LdpcCode>) -> Vec<Box<dyn Dec
 fn c2_frame_roundtrip_through_clean_channel() {
     let code = ccsds_c2::code();
     let mut rng = StdRng::seed_from_u64(1);
-    let info: Vec<u8> = (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect();
+    let info: Vec<u8> = (0..ccsds_c2::K_INFO)
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let cw = ccsds_c2::encode_frame(&info).unwrap();
-    let llrs: Vec<f32> = (0..code.n()).map(|i| if cw.get(i) { -5.0 } else { 5.0 }).collect();
+    let llrs: Vec<f32> = (0..code.n())
+        .map(|i| if cw.get(i) { -5.0 } else { 5.0 })
+        .collect();
     for mut dec in decoders(code.clone()) {
         let out = dec.decode(&llrs, 10);
         assert!(out.converged, "{}", dec.name());
@@ -43,7 +47,9 @@ fn c2_frame_roundtrip_through_clean_channel() {
 fn c2_survives_waterfall_noise_at_4_2_db() {
     let code = ccsds_c2::code();
     let mut rng = StdRng::seed_from_u64(2);
-    let info: Vec<u8> = (0..ccsds_c2::K_INFO).map(|_| rng.gen_range(0..2u8)).collect();
+    let info: Vec<u8> = (0..ccsds_c2::K_INFO)
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let cw = ccsds_c2::encode_frame(&info).unwrap();
     let mut channel = AwgnChannel::from_ebn0(4.2, code.rate(), 1234);
     let llrs = channel.transmit_codeword(&cw);

@@ -36,7 +36,9 @@ fn high_speed_simulator_decodes_eight_frames_lockstep() {
     let code = ccsds_c2::code();
     let cfg = ArchConfig::high_speed();
     let sim = ArchSimulator::new(cfg.clone(), code.clone());
-    let frames: Vec<Vec<i16>> = (0..8).map(|s| noisy_quantized_frame(100 + s, 4.2)).collect();
+    let frames: Vec<Vec<i16>> = (0..8)
+        .map(|s| noisy_quantized_frame(100 + s, 4.2))
+        .collect();
     let out = sim.decode(&frames, 18);
     assert_eq!(out.results.len(), 8);
     // At 4.2 dB all eight should decode to the all-zero codeword.
@@ -58,7 +60,12 @@ fn simulator_cycles_equal_model_cycles_on_c2() {
         let frame = noisy_quantized_frame(9, 5.0);
         for iters in [1u32, 10, 18] {
             let out = sim.decode(&[frame.clone()], iters);
-            assert_eq!(out.cycles, model.frame_cycles(iters), "{} at {iters} iters", cfg.name);
+            assert_eq!(
+                out.cycles,
+                model.frame_cycles(iters),
+                "{} at {iters} iters",
+                cfg.name
+            );
         }
     }
 }

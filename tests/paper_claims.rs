@@ -34,9 +34,21 @@ fn table_1_throughputs() {
 fn table_2_low_cost_resources() {
     let est = ResourceEstimate::new(&ArchConfig::low_cost(), &CodeDims::ccsds_c2());
     // Paper: 8k ALUTs (16%), 6k registers (12%), 290k bits (50%).
-    assert!((est.aluts as f64 - 8_000.0).abs() / 8_000.0 < 0.05, "{}", est.aluts);
-    assert!((est.registers as f64 - 6_000.0).abs() / 6_000.0 < 0.05, "{}", est.registers);
-    assert!((est.memory_bits as f64 - 290_000.0).abs() / 290_000.0 < 0.05, "{}", est.memory_bits);
+    assert!(
+        (est.aluts as f64 - 8_000.0).abs() / 8_000.0 < 0.05,
+        "{}",
+        est.aluts
+    );
+    assert!(
+        (est.registers as f64 - 6_000.0).abs() / 6_000.0 < 0.05,
+        "{}",
+        est.registers
+    );
+    assert!(
+        (est.memory_bits as f64 - 290_000.0).abs() / 290_000.0 < 0.05,
+        "{}",
+        est.memory_bits
+    );
     let u = CYCLONE_II_EP2C50.utilization(&est);
     assert!(u.fits());
     assert!((u.logic_pct - 16.0).abs() < 2.0);
@@ -47,9 +59,21 @@ fn table_2_low_cost_resources() {
 fn table_3_high_speed_resources() {
     let est = ResourceEstimate::new(&ArchConfig::high_speed(), &CodeDims::ccsds_c2());
     // Paper: 38k ALUTs (27%), 30k registers (20%), 1300kb.
-    assert!((est.aluts as f64 - 38_000.0).abs() / 38_000.0 < 0.05, "{}", est.aluts);
-    assert!((est.registers as f64 - 30_000.0).abs() / 30_000.0 < 0.05, "{}", est.registers);
-    assert!((est.memory_bits as f64 - 1_300_000.0).abs() / 1_300_000.0 < 0.02, "{}", est.memory_bits);
+    assert!(
+        (est.aluts as f64 - 38_000.0).abs() / 38_000.0 < 0.05,
+        "{}",
+        est.aluts
+    );
+    assert!(
+        (est.registers as f64 - 30_000.0).abs() / 30_000.0 < 0.05,
+        "{}",
+        est.registers
+    );
+    assert!(
+        (est.memory_bits as f64 - 1_300_000.0).abs() / 1_300_000.0 < 0.02,
+        "{}",
+        est.memory_bits
+    );
     assert!(STRATIX_II_EP2S180.fits(&est));
 }
 
@@ -60,11 +84,18 @@ fn section_4_2_eight_x_rate_for_four_x_resources() {
     let hs_est = ResourceEstimate::new(&ArchConfig::high_speed(), &dims);
     let lc_tp = ThroughputModel::new(ArchConfig::low_cost(), dims).info_throughput_mbps(18);
     let hs_tp = ThroughputModel::new(ArchConfig::high_speed(), dims).info_throughput_mbps(18);
-    assert!((hs_tp / lc_tp - 8.0).abs() < 1e-9, "throughput x{}", hs_tp / lc_tp);
+    assert!(
+        (hs_tp / lc_tp - 8.0).abs() < 1e-9,
+        "throughput x{}",
+        hs_tp / lc_tp
+    );
     let logic_ratio = hs_est.aluts as f64 / lc_est.aluts as f64;
     assert!((4.0..5.5).contains(&logic_ratio), "logic x{logic_ratio}");
     let mem_ratio = hs_est.memory_bits as f64 / lc_est.memory_bits as f64;
-    assert!(mem_ratio < 5.0, "memory x{mem_ratio} — should be well below x8");
+    assert!(
+        mem_ratio < 5.0,
+        "memory x{mem_ratio} — should be well below x8"
+    );
 }
 
 #[test]

@@ -1,0 +1,13 @@
+//! Smoke test compiling and running `examples/quickstart.rs` as-is, so any
+//! regression in the facade API surface the example exercises (code
+//! construction, encoding, AWGN transmission, fixed-point decoding) fails
+//! tier-1 instead of only breaking `cargo run --example`.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[test]
+fn quickstart_example_runs_and_recovers_the_frame() {
+    // The example asserts convergence and zero residual errors internally.
+    quickstart::main();
+}

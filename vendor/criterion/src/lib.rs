@@ -1,0 +1,204 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! surface the bench targets use — [`Criterion`], [`Bencher::iter`],
+//! benchmark groups, [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple mean over a fixed number of
+//! wall-clock samples: good enough for the regeneration harness, with no
+//! statistics, plotting, or CLI argument handling.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared throughput of a benchmark, printed alongside its timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the timed samples.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", n as f64 / secs / 1024.0 / 1024.0),
+        }
+    });
+    println!(
+        "bench: {name:<48} {:>12.3?}/iter{}",
+        per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Top-level benchmark driver (offline stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name.as_ref(), &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: AsRef<str>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.as_ref()),
+            &b,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in this subset).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each benchmark group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("probe", |b| b.iter(|| calls += 1));
+        // One warm-up + three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_throughput() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(8));
+        let mut calls = 0usize;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}
