@@ -6,13 +6,14 @@
 use crate::args::{ArgError, ParsedArgs};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
 use ldpc_core::{
-    FixedConfig, FixedDecoder, LdpcCode, MinSumConfig, MinSumDecoder, SumProductDecoder,
+    BatchFixedDecoder, BatchMinSumDecoder, FixedConfig, FixedDecoder, LdpcCode, MinSumConfig,
+    MinSumDecoder, SumProductDecoder,
 };
 use ldpc_hwsim::{
     devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
     ThroughputModel,
 };
-use ldpc_sim::{run_point, MonteCarloConfig, Transmission};
+use ldpc_sim::{run_point, run_point_batched, MonteCarloConfig, Transmission};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -51,8 +52,10 @@ COMMANDS:
   encode [--random|--zeros] [--seed N]
                             encode one 7154-bit frame; prints codeword bits
   simulate [--demo|--c2] [--ebn0 DB] [--frames N] [--iters N]
-           [--decoder fixed|nms|spa] [--seed N]
+           [--decoder fixed|nms|spa] [--batch N] [--threads N] [--seed N]
                             Monte-Carlo one operating point; prints CSV
+                            (--batch N > 1 decodes N frames in lockstep,
+                            fixed and nms only; --threads 0 = all cores)
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
@@ -119,24 +122,49 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let iters: u32 = args.get_or("iters", 18u32)?;
     let seed: u64 = args.get_or("seed", 0xC11u64)?;
     let decoder: String = args.get_or("decoder", "fixed".to_owned())?;
+    let batch: usize = args.get_or("batch", 1usize)?;
+    if batch == 0 {
+        return Err(Box::new(ArgError::InvalidValue {
+            option: "batch".into(),
+            value: "0".into(),
+        }));
+    }
+    let threads: usize = args.get_or("threads", 0usize)?;
     let cfg = MonteCarloConfig {
         ebn0_db: ebn0,
         max_frames: frames,
         target_frame_errors: 0,
         max_iterations: iters,
         seed,
-        threads: 0,
+        threads,
         transmission: Transmission::AllZero,
     };
-    let point = match decoder.as_str() {
-        "fixed" => run_point(&code, None, &cfg, || {
+    // Batched decoding is bit-exact against per-frame decoding, so
+    // --batch only changes wall-clock, never the statistical validity.
+    // Counts are byte-identical to the per-frame run only with
+    // --threads 1 (multi-worker frame partitioning is racy).
+    let point = match (decoder.as_str(), batch) {
+        ("fixed", 1) => run_point(&code, None, &cfg, || {
             FixedDecoder::new(code.clone(), FixedConfig::default())
         }),
-        "nms" => run_point(&code, None, &cfg, || {
+        ("fixed", b) => run_point_batched(&code, None, &cfg, || {
+            BatchFixedDecoder::new(code.clone(), FixedConfig::default(), b)
+        }),
+        ("nms", 1) => run_point(&code, None, &cfg, || {
             MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0))
         }),
-        "spa" => run_point(&code, None, &cfg, || SumProductDecoder::new(code.clone())),
-        other => {
+        ("nms", b) => run_point_batched(&code, None, &cfg, || {
+            BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), b)
+        }),
+        ("spa", 1) => run_point(&code, None, &cfg, || SumProductDecoder::new(code.clone())),
+        ("spa", _) => {
+            return Err(
+                "--batch is not supported with --decoder spa (no batched sum-product); \
+                        use fixed or nms"
+                    .into(),
+            )
+        }
+        (other, _) => {
             return Err(Box::new(ArgError::InvalidValue {
                 option: "decoder".into(),
                 value: other.into(),
@@ -277,6 +305,79 @@ mod tests {
         assert!(out.starts_with("code,decoder"));
         let data = out.lines().nth(1).unwrap();
         assert!(data.starts_with("demo,fixed,6.000,100,"));
+    }
+
+    #[test]
+    fn simulate_batched_matches_per_frame_counts() {
+        // One worker so the per-frame and batched runs draw identical
+        // noise; bit-exact batched decoding then makes the whole CSV
+        // byte-identical.
+        let base = &[
+            "simulate",
+            "--demo",
+            "--ebn0",
+            "3.0",
+            "--frames",
+            "64",
+            "--iters",
+            "12",
+            "--seed",
+            "9",
+            "--threads",
+            "1",
+        ];
+        let per_frame = run(&parsed(base)).unwrap();
+        let mut with_batch = base.to_vec();
+        with_batch.extend(["--batch", "8"]);
+        let batched = run(&parsed(&with_batch)).unwrap();
+        assert!(batched
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("demo,fixed,3.000,64,"));
+        assert_eq!(per_frame, batched);
+    }
+
+    #[test]
+    fn simulate_batched_nms_works() {
+        let out = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--decoder",
+            "nms",
+            "--batch",
+            "4",
+            "--frames",
+            "32",
+            "--ebn0",
+            "5.0",
+        ]))
+        .unwrap();
+        assert!(out
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("demo,nms,5.000,32,"));
+    }
+
+    #[test]
+    fn simulate_rejects_zero_batch() {
+        let err = run(&parsed(&["simulate", "--demo", "--batch", "0"])).unwrap_err();
+        assert!(err.to_string().contains("batch"));
+    }
+
+    #[test]
+    fn simulate_rejects_batched_spa() {
+        let err = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--decoder",
+            "spa",
+            "--batch",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("spa"));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! ldpc-tool tables
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod args;
 mod commands;
 

@@ -97,6 +97,86 @@ impl MinSumConfig {
     }
 }
 
+/// Effective α of `config` for a 0-based iteration index: the schedule
+/// entry (last value holding past the end) or the constant α. The single
+/// definition shared by [`MinSumDecoder`] and
+/// [`BatchMinSumDecoder`](crate::BatchMinSumDecoder).
+pub(crate) fn alpha_for_iteration(config: &MinSumConfig, iter: usize) -> Option<f32> {
+    match (&config.alpha_schedule, config.variant) {
+        (Some(schedule), MinSumVariant::Normalized { .. }) => {
+            Some(schedule[iter.min(schedule.len() - 1)])
+        }
+        (None, MinSumVariant::Normalized { alpha }) => Some(alpha),
+        _ => None,
+    }
+}
+
+/// Applies the check-node correction (paper eq. 2) to a min magnitude.
+/// The single definition shared by the per-frame and batched min-sum
+/// decoders, so their bit-exactness holds by construction.
+#[inline]
+pub(crate) fn apply_correction(variant: MinSumVariant, alpha: Option<f32>, mag: f32) -> f32 {
+    match (variant, alpha) {
+        (MinSumVariant::Plain, _) => mag,
+        (MinSumVariant::Normalized { .. }, Some(a)) => mag / a,
+        (MinSumVariant::Normalized { alpha }, None) => mag / alpha,
+        (MinSumVariant::Offset { beta }, _) => (mag - beta).max(0.0),
+    }
+}
+
+/// Serial two-minimum check-node scan in `f32` — the floating-point
+/// analog of [`CnState`](crate::decoder::kernels::CnState), and the
+/// single scan definition shared by [`MinSumDecoder`] and the batched
+/// decoder's lane-masked path (the lockstep path uses a select-based
+/// formulation that is value-identical; proptests pin the equality).
+pub(crate) struct CnScanF32 {
+    min1: f32,
+    min2: f32,
+    argmin: usize,
+    /// XOR of all absorbed sign bits (`true` = negative product).
+    pub sign_product: bool,
+}
+
+impl CnScanF32 {
+    /// Initial state; `first_edge` seeds the argmin like the hardware
+    /// scan (any absorbed edge replaces it on the first strict minimum).
+    pub fn new(first_edge: usize) -> Self {
+        Self {
+            min1: f32::INFINITY,
+            min2: f32::INFINITY,
+            argmin: first_edge,
+            sign_product: false,
+        }
+    }
+
+    /// Absorbs the message of edge `e`.
+    #[inline]
+    pub fn absorb(&mut self, e: usize, x: f32) {
+        let mag = x.abs();
+        if x < 0.0 {
+            self.sign_product = !self.sign_product;
+        }
+        if mag < self.min1 {
+            self.min2 = self.min1;
+            self.min1 = mag;
+            self.argmin = e;
+        } else if mag < self.min2 {
+            self.min2 = mag;
+        }
+    }
+
+    /// Output magnitude toward edge `e`: the minimum excluding `e`'s own
+    /// input.
+    #[inline]
+    pub fn magnitude(&self, e: usize) -> f32 {
+        if e == self.argmin {
+            self.min2
+        } else {
+            self.min1
+        }
+    }
+}
+
 /// Min-sum decoder with optional normalization ("sign-min" of the paper)
 /// or offset correction, in `f32` arithmetic.
 ///
@@ -149,13 +229,7 @@ impl MinSumDecoder {
 
     /// Effective α for a given 0-based iteration index.
     fn alpha_for_iteration(&self, iter: usize) -> Option<f32> {
-        match (&self.config.alpha_schedule, self.config.variant) {
-            (Some(schedule), MinSumVariant::Normalized { .. }) => {
-                Some(schedule[iter.min(schedule.len() - 1)])
-            }
-            (None, MinSumVariant::Normalized { alpha }) => Some(alpha),
-            _ => None,
-        }
+        alpha_for_iteration(&self.config, iter)
     }
 
     fn cn_phase(&mut self, iter: usize) {
@@ -164,34 +238,13 @@ impl MinSumDecoder {
         let alpha = self.alpha_for_iteration(iter);
         for m in 0..graph.n_checks() {
             let range = graph.cn_edge_range(m);
-            // Two-minimum scan with sign tracking.
-            let mut min1 = f32::INFINITY;
-            let mut min2 = f32::INFINITY;
-            let mut argmin = range.start;
-            let mut sign_product = false;
+            let mut scan = CnScanF32::new(range.start);
             for e in range.clone() {
-                let x = self.bc[e];
-                let mag = x.abs();
-                if x < 0.0 {
-                    sign_product = !sign_product;
-                }
-                if mag < min1 {
-                    min2 = min1;
-                    min1 = mag;
-                    argmin = e;
-                } else if mag < min2 {
-                    min2 = mag;
-                }
+                scan.absorb(e, self.bc[e]);
             }
             for e in range {
-                let mag = if e == argmin { min2 } else { min1 };
-                let mag = match (self.config.variant, alpha) {
-                    (MinSumVariant::Plain, _) => mag,
-                    (MinSumVariant::Normalized { .. }, Some(a)) => mag / a,
-                    (MinSumVariant::Normalized { alpha }, None) => mag / alpha,
-                    (MinSumVariant::Offset { beta }, _) => (mag - beta).max(0.0),
-                };
-                let negative = sign_product ^ (self.bc[e] < 0.0);
+                let mag = apply_correction(self.config.variant, alpha, scan.magnitude(e));
+                let negative = scan.sign_product ^ (self.bc[e] < 0.0);
                 self.cb[e] = if negative { -mag } else { mag };
             }
         }

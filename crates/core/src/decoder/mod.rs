@@ -12,8 +12,10 @@
 //! | [`MinSumDecoder`] | `f32` | sign·min with normalization/offset | eq. (2) |
 //! | [`FixedDecoder`] | saturating integer | sign·min, shift-add scaling | the FPGA datapath |
 //! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
+//! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
 
 mod alpha;
+mod batch;
 mod bitflip;
 mod fixed;
 pub mod kernels;
@@ -23,6 +25,7 @@ mod selfcorrect;
 mod spa;
 
 pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
+pub use batch::{decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder};
 pub use bitflip::{GallagerBDecoder, WeightedBitFlipDecoder};
 pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
 pub use kernels::Scaling;

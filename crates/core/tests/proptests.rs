@@ -4,10 +4,28 @@ use gf2::BitVec;
 use ldpc_core::codes::small::{demo_code, random_c2_like};
 use ldpc_core::decoder::kernels::{cn_scan, Scaling};
 use ldpc_core::{
-    Decoder, Encoder, FixedConfig, FixedDecoder, LlrQuantizer, MinSumConfig, MinSumDecoder,
-    SumProductDecoder,
+    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Decoder, Encoder,
+    FixedConfig, FixedDecoder, LlrQuantizer, MinSumConfig, MinSumDecoder, SumProductDecoder,
 };
 use proptest::prelude::*;
+
+/// A batch of frames with per-frame noise quality drawn independently, so
+/// batches mix immediately-converging, slowly-converging, and
+/// never-converging frames (exercising per-frame early termination).
+fn mixed_quality_batch(qualities: &[u8], noise: &[f32], n: usize) -> Vec<f32> {
+    let mut llrs = Vec::with_capacity(qualities.len() * n);
+    for (f, &q) in qualities.iter().enumerate() {
+        for b in 0..n {
+            let x = noise[(f * n + b) % noise.len()];
+            llrs.push(match q % 3 {
+                0 => 4.0 + x,       // clean: converges in one iteration
+                1 => 1.2 + 1.8 * x, // marginal: converges late or never
+                _ => 3.0 * x,       // garbage: usually never converges
+            });
+        }
+    }
+    llrs
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -103,6 +121,76 @@ proptest! {
         let out = dec.decode(&noise, 20);
         if out.converged {
             prop_assert!(code.is_codeword(&out.hard_decision));
+        }
+    }
+
+    /// Batched min-sum decoding equals per-frame decoding bit for bit, on
+    /// mixed-convergence batches of any width up to the capacity, for all
+    /// check-node correction variants.
+    #[test]
+    fn batch_minsum_equals_per_frame(
+        qualities in prop::collection::vec(any::<u8>(), 1..9),
+        // 251 is coprime to n = 248, so each frame reads a shifted window
+        // of the noise pool — same-quality lanes still get distinct LLRs.
+        noise in prop::collection::vec(-1.0f32..1.0, 251),
+        variant in 0u8..3,
+        early_stop in any::<bool>(),
+    ) {
+        let code = demo_code();
+        let cfg = match variant {
+            0 => MinSumConfig::plain(),
+            1 => MinSumConfig::normalized(4.0 / 3.0),
+            _ => MinSumConfig::offset(0.2),
+        }
+        .with_early_stop(early_stop);
+        let llrs = mixed_quality_batch(&qualities, &noise, code.n());
+        let mut batched = BatchMinSumDecoder::new(code.clone(), cfg.clone(), qualities.len());
+        let mut single = MinSumDecoder::new(code.clone(), cfg);
+        let got = batched.decode_batch(&llrs, 12);
+        let want = decode_frames(&mut single, &llrs, 12);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Batched fixed-point decoding equals per-frame decoding bit for bit
+    /// on mixed-convergence batches (the hardware-exact datapath).
+    #[test]
+    fn batch_fixed_equals_per_frame(
+        qualities in prop::collection::vec(any::<u8>(), 1..9),
+        noise in prop::collection::vec(-1.0f32..1.0, 251),
+        early_stop in any::<bool>(),
+    ) {
+        let code = demo_code();
+        let cfg = FixedConfig::default().with_early_stop(early_stop);
+        let llrs = mixed_quality_batch(&qualities, &noise, code.n());
+        let mut batched = BatchFixedDecoder::new(code.clone(), cfg, qualities.len());
+        let mut single = FixedDecoder::new(code.clone(), cfg);
+        let got = batched.decode_batch(&llrs, 12);
+        let want = decode_frames(&mut single, &llrs, 12);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The batched fixed decoder accepts quantized (hardware-format)
+    /// input and matches `decode_quantized` frame by frame.
+    #[test]
+    fn batch_fixed_quantized_equals_per_frame(
+        frames in 1usize..6,
+        seed in any::<u16>(),
+    ) {
+        let code = demo_code();
+        let n = code.n();
+        // Cheap deterministic level pattern in the 5-bit channel range.
+        let channel: Vec<i16> = (0..frames * n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed as u64);
+                ((x >> 33) % 31) as i16 - 15 // uniform in the 5-bit range -15..=15
+            })
+            .collect();
+        let mut batched = BatchFixedDecoder::new(code.clone(), FixedConfig::default(), frames);
+        let mut single = FixedDecoder::new(code.clone(), FixedConfig::default());
+        let got = batched.decode_quantized_batch(&channel, 10);
+        for (f, got_f) in got.iter().enumerate() {
+            let want = single.decode_quantized(&channel[f * n..(f + 1) * n], 10);
+            prop_assert_eq!(got_f, &want);
         }
     }
 

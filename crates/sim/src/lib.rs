@@ -9,6 +9,9 @@
 //! * [`run_point`] — simulate one point with any [`Decoder`] factory,
 //!   spreading frames across threads with deterministic per-thread noise
 //!   streams;
+//! * [`run_point_batched`] — the same statistics with a frame-batched
+//!   decoder ([`BatchDecoder`]): each worker generates and decodes frames
+//!   in blocks, mirroring the architecture's frames-per-word packing;
 //! * [`run_curve`] — sweep a list of Eb/N0 points (Figure 4's x-axis);
 //! * [`PointResult`] — error counts with BER/PER accessors and Wilson
 //!   confidence intervals; [`to_csv`] renders a sweep for plotting.
@@ -46,7 +49,7 @@ pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
 
 use gf2::BitVec;
 use ldpc_channel::{bpsk_modulate, ebn0_to_sigma, AwgnChannel};
-use ldpc_core::{Decoder, Encoder, LdpcCode};
+use ldpc_core::{BatchDecoder, Decoder, Encoder, LdpcCode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -204,6 +207,60 @@ where
     F: Fn() -> D + Sync,
     D: Decoder,
 {
+    run_point_impl(code, encoder, cfg, || PerFrameBlocks(factory()))
+}
+
+/// Internal view of a decoder as a block processor: the Monte-Carlo
+/// engine claims `block()` frames at a time and decodes them with one
+/// `decode_all` call. A per-frame [`Decoder`] is the `block() == 1` case,
+/// which makes [`run_point`] and [`run_point_batched`] the same engine —
+/// one worker skeleton, one seed derivation, one error-counting path.
+trait BlockDecoder {
+    /// Frames claimed and decoded per engine step.
+    fn block(&self) -> u64;
+
+    /// Decodes `llrs.len() / n` back-to-back frames.
+    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult>;
+}
+
+struct PerFrameBlocks<D: Decoder>(D);
+
+impl<D: Decoder> BlockDecoder for PerFrameBlocks<D> {
+    fn block(&self) -> u64 {
+        1
+    }
+
+    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult> {
+        vec![self.0.decode(llrs, max_iterations)]
+    }
+}
+
+struct BatchBlocks<D: BatchDecoder>(D);
+
+impl<D: BatchDecoder> BlockDecoder for BatchBlocks<D> {
+    fn block(&self) -> u64 {
+        self.0.capacity() as u64
+    }
+
+    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult> {
+        self.0.decode_batch(llrs, max_iterations)
+    }
+}
+
+/// The shared Monte-Carlo engine behind [`run_point`] and
+/// [`run_point_batched`]: workers claim `block()` frames at a time from a
+/// shared counter, generate them from deterministic per-worker noise
+/// streams, decode, and accumulate error counts.
+fn run_point_impl<F, B>(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    cfg: &MonteCarloConfig,
+    factory: F,
+) -> PointResult
+where
+    F: Fn() -> B + Sync,
+    B: BlockDecoder,
+{
     assert!(cfg.max_frames > 0, "max_frames must be positive");
     if cfg.transmission == Transmission::Random {
         assert!(encoder.is_some(), "random transmission requires an encoder");
@@ -243,51 +300,65 @@ where
             let cfg = cfg.clone();
             scope.spawn(move || {
                 let mut decoder = factory();
+                let block = decoder.block();
+                assert!(block > 0, "decoder claims zero frames per block");
+                let n = code.n();
                 // Disjoint deterministic streams per worker.
                 let worker_seed = cfg
                     .seed
                     .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
                 let mut channel = AwgnChannel::new(sigma, worker_seed);
                 let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
-                let zero = BitVec::zeros(code.n());
+                let zero = BitVec::zeros(n);
+                let mut llrs: Vec<f32> = Vec::with_capacity(block as usize * n);
+                let mut codewords: Vec<BitVec> = Vec::with_capacity(block as usize);
                 loop {
                     if cfg.target_frame_errors > 0
                         && frame_errors.load(Ordering::Relaxed) >= cfg.target_frame_errors
                     {
                         break;
                     }
-                    let claimed = frames_claimed.fetch_add(1, Ordering::Relaxed);
+                    let claimed = frames_claimed.fetch_add(block, Ordering::Relaxed);
                     if claimed >= cfg.max_frames {
                         break;
                     }
-                    let codeword = match cfg.transmission {
-                        Transmission::AllZero => zero.clone(),
-                        Transmission::Random => {
-                            let enc = encoder.as_ref().expect("checked above");
-                            let msg: BitVec = (0..enc.dimension())
-                                .map(|_| msg_rng.gen_bool(0.5))
-                                .collect();
-                            enc.encode(&msg).expect("message length matches dimension")
-                        }
-                    };
-                    let symbols = bpsk_modulate(&codeword);
-                    let llrs = channel.llrs(&symbols);
-                    let out = decoder.decode(&llrs, cfg.max_iterations);
-                    total_iterations.fetch_add(u64::from(out.iterations), Ordering::Relaxed);
-                    let mut errors_this_frame = 0u64;
-                    for &pos in info_positions.iter() {
-                        if out.hard_decision.get(pos as usize) != codeword.get(pos as usize) {
-                            errors_this_frame += 1;
-                        }
+                    // The final block may be partial.
+                    let count = block.min(cfg.max_frames - claimed);
+                    llrs.clear();
+                    codewords.clear();
+                    for _ in 0..count {
+                        let codeword = match cfg.transmission {
+                            Transmission::AllZero => zero.clone(),
+                            Transmission::Random => {
+                                let enc = encoder.as_ref().expect("checked above");
+                                let msg: BitVec = (0..enc.dimension())
+                                    .map(|_| msg_rng.gen_bool(0.5))
+                                    .collect();
+                                enc.encode(&msg).expect("message length matches dimension")
+                            }
+                        };
+                        let symbols = bpsk_modulate(&codeword);
+                        llrs.extend(channel.llrs(&symbols));
+                        codewords.push(codeword);
                     }
-                    if errors_this_frame > 0 {
-                        bit_errors.fetch_add(errors_this_frame, Ordering::Relaxed);
-                        frame_errors.fetch_add(1, Ordering::Relaxed);
-                        if out.converged {
-                            undetected.fetch_add(1, Ordering::Relaxed);
+                    let results = decoder.decode_all(&llrs, cfg.max_iterations);
+                    for (out, codeword) in results.iter().zip(&codewords) {
+                        total_iterations.fetch_add(u64::from(out.iterations), Ordering::Relaxed);
+                        let mut errors_this_frame = 0u64;
+                        for &pos in info_positions.iter() {
+                            if out.hard_decision.get(pos as usize) != codeword.get(pos as usize) {
+                                errors_this_frame += 1;
+                            }
                         }
+                        if errors_this_frame > 0 {
+                            bit_errors.fetch_add(errors_this_frame, Ordering::Relaxed);
+                            frame_errors.fetch_add(1, Ordering::Relaxed);
+                            if out.converged {
+                                undetected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        frames_done.fetch_add(1, Ordering::Relaxed);
                     }
-                    frames_done.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
@@ -302,6 +373,48 @@ where
         total_iterations: total_iterations.load(Ordering::Relaxed),
         info_bits_per_frame,
     }
+}
+
+/// Simulates one Eb/N0 point with a frame-batched decoder: each worker
+/// claims, generates, and decodes frames in blocks of the decoder's batch
+/// capacity instead of one at a time.
+///
+/// This is the batched counterpart of [`run_point`] — the two share one
+/// engine, differing only in how many frames a worker claims per step, so
+/// per-worker noise streams and error counting are identical by
+/// construction. Because the batched decoders are bit-exact against their
+/// per-frame counterparts, a single-threaded run with
+/// `target_frame_errors == 0` produces *identical* counts to [`run_point`]
+/// with the matching per-frame decoder (a property the tests pin down);
+/// it just gets there faster. `factory` builds one batched decoder per
+/// worker.
+///
+/// Two block-granularity caveats:
+///
+/// * the final block a worker claims may be smaller than the batch
+///   capacity (`max_frames` need not be a multiple of it); partial blocks
+///   are decoded as-is;
+/// * a `target_frame_errors` stop is checked between blocks, so a batched
+///   run can decode up to one block beyond the per-frame engine's stop
+///   point before noticing — its counts then differ from [`run_point`]'s
+///   (more frames simulated), though both remain valid Monte-Carlo
+///   estimates.
+///
+/// # Panics
+///
+/// Panics if `max_frames == 0`, or if [`Transmission::Random`] is
+/// requested without an encoder.
+pub fn run_point_batched<F, D>(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    cfg: &MonteCarloConfig,
+    factory: F,
+) -> PointResult
+where
+    F: Fn() -> D + Sync,
+    D: BatchDecoder,
+{
+    run_point_impl(code, encoder, cfg, || BatchBlocks(factory()))
 }
 
 /// Sweeps a list of Eb/N0 points (the x-axis of the paper's Figure 4).
@@ -485,6 +598,104 @@ mod tests {
         let (_, hi_small) = wilson_interval(10, 100, 1.96);
         let (_, hi_large) = wilson_interval(100, 1000, 1.96);
         assert!(hi_large < hi_small);
+    }
+
+    #[test]
+    fn batched_point_matches_per_frame_exactly_single_thread() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            threads: 1,
+            ..quick_cfg(2.0)
+        };
+        let per_frame = run_point(&code, None, &cfg, || {
+            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
+        });
+        for batch in [1usize, 4, 8] {
+            let batched = run_point_batched(&code, None, &cfg, || {
+                ldpc_core::BatchMinSumDecoder::new(
+                    demo_code(),
+                    MinSumConfig::normalized(4.0 / 3.0),
+                    batch,
+                )
+            });
+            assert_eq!(batched, per_frame, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batched_fixed_point_matches_per_frame_exactly_single_thread() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            threads: 1,
+            ..quick_cfg(2.5)
+        };
+        let per_frame = run_point(&code, None, &cfg, || {
+            FixedDecoder::new(demo_code(), FixedConfig::default())
+        });
+        let batched = run_point_batched(&code, None, &cfg, || {
+            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
+        });
+        assert_eq!(batched, per_frame);
+    }
+
+    #[test]
+    fn batched_partial_final_block_counts_all_frames() {
+        let code = demo_code();
+        // 10 frames with a capacity-4 decoder: blocks of 4, 4, 2.
+        let cfg = MonteCarloConfig {
+            max_frames: 10,
+            threads: 1,
+            ..quick_cfg(6.0)
+        };
+        let point = run_point_batched(&code, None, &cfg, || {
+            ldpc_core::BatchMinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25), 4)
+        });
+        assert_eq!(point.frames, 10);
+    }
+
+    #[test]
+    fn batched_multi_thread_respects_max_frames() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 100,
+            threads: 3,
+            ..quick_cfg(3.0)
+        };
+        let point = run_point_batched(&code, None, &cfg, || {
+            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
+        });
+        assert_eq!(point.frames, 100);
+    }
+
+    #[test]
+    fn batched_target_frame_errors_stops_early() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 100_000,
+            target_frame_errors: 5,
+            ..quick_cfg(-3.0)
+        };
+        let point = run_point_batched(&code, None, &cfg, || {
+            ldpc_core::BatchMinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25), 8)
+        });
+        assert!(point.frame_errors >= 5);
+        assert!(point.frames < 100_000);
+    }
+
+    #[test]
+    fn batched_random_transmission_works() {
+        let code = demo_code();
+        let enc = Arc::new(Encoder::new(&code).unwrap());
+        let mut cfg = quick_cfg(2.5);
+        cfg.transmission = Transmission::Random;
+        cfg.threads = 1;
+        let batched = run_point_batched(&code, Some(&enc), &cfg, || {
+            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
+        });
+        let per_frame = run_point(&code, Some(&enc), &cfg, || {
+            FixedDecoder::new(demo_code(), FixedConfig::default())
+        });
+        assert_eq!(batched, per_frame);
     }
 
     #[test]

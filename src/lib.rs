@@ -10,7 +10,8 @@
 //! * [`gf2`] — GF(2) linear algebra (bit vectors, matrices, circulants);
 //! * [`core`] — the CCSDS C2 (8176, 7156) quasi-cyclic code, systematic
 //!   encoder, and the decoder family (sum-product, normalized min-sum,
-//!   bit-accurate fixed point, layered);
+//!   bit-accurate fixed point, layered), plus the frame-batched decoders
+//!   that mirror the architecture's frames-per-word packing;
 //! * [`channel`] — BPSK/AWGN channel and LLR demapping;
 //! * [`hwsim`] — the paper's generic parallel architecture: cycle-accurate
 //!   simulator, throughput model (Table 1), and FPGA resource model
