@@ -6,8 +6,8 @@
 use crate::args::{ArgError, ParsedArgs};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
 use ldpc_core::{
-    BatchFixedDecoder, BatchMinSumDecoder, FixedConfig, FixedDecoder, LdpcCode, MinSumConfig,
-    MinSumDecoder, SumProductDecoder,
+    BatchFixedDecoder, BatchMinSumDecoder, FixedConfig, FixedDecoder, GallagerBDecoder, LdpcCode,
+    MinSumConfig, MinSumDecoder, SumProductDecoder,
 };
 use ldpc_hwsim::{
     devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
@@ -53,9 +53,12 @@ COMMANDS:
                             encode one 7154-bit frame; prints codeword bits
   simulate [--demo|--c2] [--ebn0 DB] [--frames N] [--iters N]
            [--decoder fixed|nms|spa] [--batch N] [--threads N] [--seed N]
+           [--hard [--bitslice] [--threshold N]]
                             Monte-Carlo one operating point; prints CSV
                             (--batch N > 1 decodes N frames in lockstep,
-                            fixed and nms only; --threads 0 = all cores)
+                            fixed and nms only; --threads 0 = all cores;
+                            --hard selects Gallager-B bit flipping and
+                            --bitslice packs 64 frames per u64 word)
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
@@ -139,6 +142,48 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         threads,
         transmission: Transmission::AllZero,
     };
+    // Hard-decision path: scalar Gallager-B, or 64 frames per u64 word
+    // with --bitslice. Bit-exact per lane, so --bitslice (like --batch)
+    // only changes wall-clock, never the statistics.
+    if args.flag("hard") || args.flag("bitslice") || args.get("threshold").is_some() {
+        if !args.flag("hard") {
+            return Err(if args.flag("bitslice") {
+                "--bitslice packs the hard-decision decoder; add --hard".into()
+            } else {
+                "--threshold configures the hard-decision decoder; add --hard".into()
+            });
+        }
+        if args.get("decoder").is_some() {
+            return Err("--hard selects the Gallager-B decoder; drop --decoder".into());
+        }
+        if batch != 1 {
+            return Err(
+                "--batch applies to the soft decoders; use --bitslice for 64-wide hard decoding"
+                    .into(),
+            );
+        }
+        let threshold: usize = args.get_or("threshold", 3usize)?;
+        if threshold == 0 {
+            return Err(Box::new(ArgError::InvalidValue {
+                option: "threshold".into(),
+                value: "0".into(),
+            }));
+        }
+        let (point, name) = if args.flag("bitslice") {
+            (
+                ldpc_sim::run_point_bitsliced(&code, None, &cfg, threshold),
+                "gb-bitslice",
+            )
+        } else {
+            (
+                run_point(&code, None, &cfg, || {
+                    GallagerBDecoder::new(code.clone(), threshold)
+                }),
+                "gb",
+            )
+        };
+        return Ok(format_simulate_csv(label, name, &point));
+    }
     // Batched decoding is bit-exact against per-frame decoding, so
     // --batch only changes wall-clock, never the statistical validity.
     // Counts are byte-identical to the per-frame run only with
@@ -171,14 +216,19 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             }))
         }
     };
-    Ok(format!(
+    Ok(format_simulate_csv(label, &decoder, &point))
+}
+
+/// The one-point CSV every `simulate` variant prints.
+fn format_simulate_csv(label: &str, decoder: &str, point: &ldpc_sim::PointResult) -> String {
+    format!(
         "code,decoder,ebn0_db,frames,ber,per,avg_iterations\n{label},{decoder},{:.3},{},{:.6e},{:.6e},{:.2}\n",
         point.ebn0_db,
         point.frames,
         point.ber(),
         point.per(),
         point.avg_iterations()
-    ))
+    )
 }
 
 fn cmd_plan(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
@@ -358,6 +408,88 @@ mod tests {
             .nth(1)
             .unwrap()
             .starts_with("demo,nms,5.000,32,"));
+    }
+
+    #[test]
+    fn simulate_hard_bitslice_matches_scalar_hard_counts() {
+        // One worker: scalar Gallager-B and the 64-wide bit-sliced run
+        // draw identical noise and decode bit-exactly per lane, so the
+        // CSV differs only in the decoder column.
+        let base = &[
+            "simulate",
+            "--demo",
+            "--hard",
+            "--ebn0",
+            "5.0",
+            "--frames",
+            "96",
+            "--iters",
+            "20",
+            "--seed",
+            "4",
+            "--threads",
+            "1",
+        ];
+        let scalar = run(&parsed(base)).unwrap();
+        let mut with_bitslice = base.to_vec();
+        with_bitslice.push("--bitslice");
+        let sliced = run(&parsed(&with_bitslice)).unwrap();
+        assert!(scalar
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("demo,gb,5.000,96,"));
+        assert!(sliced
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("demo,gb-bitslice,5.000,96,"));
+        assert_eq!(
+            scalar.replace(",gb,", ",gb-bitslice,"),
+            sliced,
+            "bit-sliced counts diverged from scalar Gallager-B"
+        );
+    }
+
+    #[test]
+    fn simulate_bitslice_requires_hard() {
+        let err = run(&parsed(&["simulate", "--demo", "--bitslice"])).unwrap_err();
+        assert!(err.to_string().contains("--hard"));
+    }
+
+    #[test]
+    fn simulate_threshold_requires_hard() {
+        // A forgotten --hard must not silently run the soft decoder.
+        let err = run(&parsed(&["simulate", "--demo", "--threshold", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--hard"));
+    }
+
+    #[test]
+    fn simulate_hard_rejects_decoder_and_batch() {
+        let err = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--hard",
+            "--decoder",
+            "nms",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("drop --decoder"));
+        let err = run(&parsed(&["simulate", "--demo", "--hard", "--batch", "8"])).unwrap_err();
+        assert!(err.to_string().contains("--bitslice"));
+    }
+
+    #[test]
+    fn simulate_hard_rejects_zero_threshold() {
+        let err = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--hard",
+            "--threshold",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("threshold"));
     }
 
     #[test]

@@ -7,10 +7,23 @@
 //! part of the coding gain — the benchmark harness quantifies exactly how
 //! much on the C2 code structure.
 
-use crate::decoder::{DecodeResult, Decoder};
+use crate::decoder::{DecodeResult, DecodeTrace, Decoder, IterationStats};
 use crate::LdpcCode;
 use gf2::BitVec;
 use std::sync::Arc;
+
+/// Number of unsatisfied parity checks of a hard-decision word.
+fn unsatisfied_count(graph: &crate::TannerGraph, hard: &[u8]) -> usize {
+    (0..graph.n_checks())
+        .filter(|&m| {
+            let mut parity = 0u8;
+            for &bn in graph.cn_bits(m) {
+                parity ^= hard[bn as usize];
+            }
+            parity != 0
+        })
+        .count()
+}
 
 /// Gallager-B hard-decision decoder.
 ///
@@ -60,10 +73,35 @@ impl GallagerBDecoder {
     pub fn flip_threshold(&self) -> usize {
         self.flip_threshold
     }
-}
 
-impl Decoder for GallagerBDecoder {
-    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
+    /// Decodes one frame while recording per-iteration statistics in the
+    /// same [`IterationStats`] format the soft decoders report (see
+    /// [`FixedDecoder::decode_quantized_traced`](crate::FixedDecoder::decode_quantized_traced)):
+    /// unsatisfied checks after the iteration and hard-decision flips per
+    /// iteration. Hard-decision decoding has no saturating datapath, so
+    /// `saturated_fraction` is always `0.0`.
+    ///
+    /// The [`DecodeResult`] is identical to [`Decoder::decode`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llrs.len()` differs from the code length.
+    pub fn decode_traced(
+        &mut self,
+        channel_llrs: &[f32],
+        max_iterations: u32,
+    ) -> (DecodeResult, DecodeTrace) {
+        let mut trace = DecodeTrace::default();
+        let result = self.decode_impl(channel_llrs, max_iterations, Some(&mut trace));
+        (result, trace)
+    }
+
+    fn decode_impl(
+        &mut self,
+        channel_llrs: &[f32],
+        max_iterations: u32,
+        mut trace: Option<&mut DecodeTrace>,
+    ) -> DecodeResult {
         let code = self.code.clone();
         let graph = code.graph();
         assert_eq!(
@@ -92,7 +130,7 @@ impl Decoder for GallagerBDecoder {
                 break;
             }
             // Flip bits with enough failing checks.
-            let mut flipped = false;
+            let mut flips = 0usize;
             for n in 0..graph.n_bits() {
                 let fails = graph
                     .bn_checks(n)
@@ -101,12 +139,23 @@ impl Decoder for GallagerBDecoder {
                     .count();
                 if fails >= self.flip_threshold {
                     self.hard[n] ^= 1;
-                    flipped = true;
+                    flips += 1;
                 }
             }
             iterations += 1;
-            converged = graph.syndrome_ok(&self.hard);
-            if !flipped {
+            match trace.as_deref_mut() {
+                Some(t) => {
+                    let unsat = unsatisfied_count(graph, &self.hard);
+                    converged = unsat == 0;
+                    t.iterations.push(IterationStats {
+                        unsatisfied_checks: unsat,
+                        bit_flips: flips,
+                        saturated_fraction: 0.0,
+                    });
+                }
+                None => converged = graph.syndrome_ok(&self.hard),
+            }
+            if flips == 0 {
                 break; // stalled: no bit met the threshold
             }
         }
@@ -115,6 +164,12 @@ impl Decoder for GallagerBDecoder {
             iterations,
             converged,
         }
+    }
+}
+
+impl Decoder for GallagerBDecoder {
+    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
+        self.decode_impl(channel_llrs, max_iterations, None)
     }
 
     fn n(&self) -> usize {
@@ -152,8 +207,31 @@ impl WeightedBitFlipDecoder {
     }
 }
 
-impl Decoder for WeightedBitFlipDecoder {
-    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
+impl WeightedBitFlipDecoder {
+    /// Decodes one frame while recording per-iteration statistics in the
+    /// shared [`IterationStats`] format (see
+    /// [`GallagerBDecoder::decode_traced`]); `saturated_fraction` is
+    /// always `0.0` for hard-decision decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_llrs.len()` differs from the code length.
+    pub fn decode_traced(
+        &mut self,
+        channel_llrs: &[f32],
+        max_iterations: u32,
+    ) -> (DecodeResult, DecodeTrace) {
+        let mut trace = DecodeTrace::default();
+        let result = self.decode_impl(channel_llrs, max_iterations, Some(&mut trace));
+        (result, trace)
+    }
+
+    fn decode_impl(
+        &mut self,
+        channel_llrs: &[f32],
+        max_iterations: u32,
+        mut trace: Option<&mut DecodeTrace>,
+    ) -> DecodeResult {
         let code = self.code.clone();
         let graph = code.graph();
         assert_eq!(
@@ -194,13 +272,30 @@ impl Decoder for WeightedBitFlipDecoder {
                 self.hard[bit] ^= 1;
             }
             iterations += 1;
-            converged = graph.syndrome_ok(&self.hard);
+            match trace.as_deref_mut() {
+                Some(t) => {
+                    let unsat = unsatisfied_count(graph, &self.hard);
+                    converged = unsat == 0;
+                    t.iterations.push(IterationStats {
+                        unsatisfied_checks: unsat,
+                        bit_flips: usize::from(best_bit.is_some()),
+                        saturated_fraction: 0.0,
+                    });
+                }
+                None => converged = graph.syndrome_ok(&self.hard),
+            }
         }
         DecodeResult {
             hard_decision: BitVec::from_bits(&self.hard),
             iterations,
             converged,
         }
+    }
+}
+
+impl Decoder for WeightedBitFlipDecoder {
+    fn decode(&mut self, channel_llrs: &[f32], max_iterations: u32) -> DecodeResult {
+        self.decode_impl(channel_llrs, max_iterations, None)
     }
 
     fn n(&self) -> usize {
@@ -306,5 +401,58 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         GallagerBDecoder::new(demo_code(), 0);
+    }
+
+    #[test]
+    fn gallager_b_traced_matches_untraced_and_reports_stats() {
+        let code = demo_code();
+        let mut llrs = vec![3.0f32; code.n()];
+        llrs[17] = -3.0; // one hard error: corrected after >= 1 iteration
+        let mut plain = GallagerBDecoder::new(code.clone(), 3);
+        let want = plain.decode(&llrs, 20);
+        let mut traced = GallagerBDecoder::new(code.clone(), 3);
+        let (got, trace) = traced.decode_traced(&llrs, 20);
+        assert_eq!(got, want, "tracing must not change the decode");
+        // Same reporting contract as the soft decoders: one stats entry
+        // per executed iteration, zero syndrome exactly at convergence,
+        // and no saturation in a hard-decision datapath.
+        assert_eq!(trace.iterations.len() as u32, got.iterations);
+        assert!(got.converged);
+        assert_eq!(trace.first_zero_syndrome(), Some(got.iterations as usize));
+        assert!(trace.iterations[0].bit_flips > 0);
+        assert!(trace.iterations.iter().all(|s| s.saturated_fraction == 0.0));
+    }
+
+    #[test]
+    fn gallager_b_traced_reports_stall_iterations() {
+        // Garbage input: the trace must cover every executed iteration and
+        // end with a non-zero unsatisfied count.
+        let code = demo_code();
+        let mut rng = StdRng::seed_from_u64(35);
+        let llrs: Vec<f32> = (0..code.n())
+            .map(|_| if rng.gen_bool(0.5) { 4.0 } else { -4.0 })
+            .collect();
+        let mut dec = GallagerBDecoder::new(code.clone(), 3);
+        let (out, trace) = dec.decode_traced(&llrs, 50);
+        assert!(!out.converged);
+        assert_eq!(trace.iterations.len() as u32, out.iterations);
+        assert!(trace.iterations.last().unwrap().unsatisfied_checks > 0);
+        assert_eq!(trace.first_zero_syndrome(), None);
+    }
+
+    #[test]
+    fn weighted_bit_flip_traced_flips_one_bit_per_iteration() {
+        let code = demo_code();
+        let mut llrs = vec![3.0f32; code.n()];
+        llrs[17] = -1.0;
+        llrs[90] = -1.0;
+        let mut plain = WeightedBitFlipDecoder::new(code.clone());
+        let want = plain.decode(&llrs, 50);
+        let mut traced = WeightedBitFlipDecoder::new(code.clone());
+        let (got, trace) = traced.decode_traced(&llrs, 50);
+        assert_eq!(got, want);
+        assert_eq!(trace.iterations.len() as u32, got.iterations);
+        assert!(trace.iterations.iter().all(|s| s.bit_flips == 1));
+        assert!(trace.iterations.iter().all(|s| s.saturated_fraction == 0.0));
     }
 }

@@ -13,10 +13,12 @@
 //! | [`FixedDecoder`] | saturating integer | sign·min, shift-add scaling | the FPGA datapath |
 //! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
 //! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
+//! | [`BitsliceGallagerBDecoder`] | boolean planes, ×64 frames | majority vote via carry-save counters | frames-per-word at the hard-decision limit |
 
 mod alpha;
 mod batch;
 mod bitflip;
+mod bitslice;
 mod fixed;
 pub mod kernels;
 mod layered;
@@ -27,6 +29,7 @@ mod spa;
 pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
 pub use batch::{decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder};
 pub use bitflip::{GallagerBDecoder, WeightedBitFlipDecoder};
+pub use bitslice::BitsliceGallagerBDecoder;
 pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
 pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;

@@ -50,10 +50,10 @@ mod code;
 
 pub use code::LdpcCode;
 pub use decoder::{
-    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, DecodeResult, DecodeTrace,
-    Decoder, FixedConfig, FixedDecoder, GallagerBDecoder, IterationStats, LayeredMinSumDecoder,
-    MinSumConfig, MinSumDecoder, MinSumVariant, Scaling, SelfCorrectedMinSumDecoder,
-    SumProductDecoder, WeightedBitFlipDecoder,
+    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
+    DecodeResult, DecodeTrace, Decoder, FixedConfig, FixedDecoder, GallagerBDecoder,
+    IterationStats, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, MinSumVariant, Scaling,
+    SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
 };
 pub use encoder::Encoder;
 pub use error::{CodeError, EncodeError};

@@ -1,11 +1,12 @@
 //! Property-based tests over codes, encoders, and decoders.
 
-use gf2::BitVec;
+use gf2::{BitSlices, BitVec};
 use ldpc_core::codes::small::{demo_code, random_c2_like};
 use ldpc_core::decoder::kernels::{cn_scan, Scaling};
 use ldpc_core::{
-    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Decoder, Encoder,
-    FixedConfig, FixedDecoder, LlrQuantizer, MinSumConfig, MinSumDecoder, SumProductDecoder,
+    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
+    Decoder, Encoder, FixedConfig, FixedDecoder, GallagerBDecoder, LlrQuantizer, MinSumConfig,
+    MinSumDecoder, SumProductDecoder,
 };
 use proptest::prelude::*;
 
@@ -208,5 +209,50 @@ proptest! {
         let ra = dec.decode(&a, 10);
         let rb = dec.decode(&b, 10);
         prop_assert_eq!(ra, rb);
+    }
+
+    /// Bit-sliced Gallager-B is bit-exact per lane against the scalar
+    /// decoder over mixed-convergence words — lanes that converge at
+    /// iteration 0, lanes that converge late, lanes that stall, and lanes
+    /// that exhaust the budget — including partial final words (any frame
+    /// count 1..=64).
+    #[test]
+    fn bitslice_gallager_b_equals_scalar_per_lane(
+        frames in 1usize..=64,
+        qualities in prop::collection::vec(any::<u8>(), 64),
+        noise in prop::collection::vec(-1.0f32..1.0, 251),
+        threshold in 2usize..5,
+        budget in 0u32..20,
+    ) {
+        let code = demo_code();
+        let llrs = mixed_quality_batch(&qualities[..frames], &noise, code.n());
+        let mut sliced = BitsliceGallagerBDecoder::new(code.clone(), threshold);
+        let mut scalar = GallagerBDecoder::new(code.clone(), threshold);
+        let got = sliced.decode_batch(&llrs, budget);
+        let want = decode_frames(&mut scalar, &llrs, budget);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Packing hard decisions through `BitSlices` and decoding the word
+    /// agrees with the LLR front door.
+    #[test]
+    fn bitslice_hard_slices_agree_with_llr_entry(
+        frames in 1usize..=64,
+        qualities in prop::collection::vec(any::<u8>(), 64),
+        noise in prop::collection::vec(-1.0f32..1.0, 251),
+    ) {
+        let code = demo_code();
+        let llrs = mixed_quality_batch(&qualities[..frames], &noise, code.n());
+        let hard: Vec<BitVec> = llrs
+            .chunks_exact(code.n())
+            .map(|frame| frame.iter().map(|&l| l < 0.0).collect())
+            .collect();
+        let slices = BitSlices::from_frames(&hard);
+        let mut a = BitsliceGallagerBDecoder::new(code.clone(), 3);
+        let mut b = BitsliceGallagerBDecoder::new(code.clone(), 3);
+        prop_assert_eq!(
+            a.decode_hard_slices(&slices, 12),
+            b.decode_batch(&llrs, 12)
+        );
     }
 }

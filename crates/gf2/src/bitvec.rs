@@ -80,6 +80,25 @@ impl BitVec {
         v
     }
 
+    /// Builds a `len`-bit vector directly from packed little-endian words
+    /// (the storage format [`words`](Self::words) exposes). Bits at
+    /// positions `>= len` in the last word are cleared to restore the
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from `len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count mismatch for length {len}"
+        );
+        let mut v = Self { len, words };
+        v.canonicalize();
+        v
+    }
+
     /// Builds a `len`-bit vector with ones at the given indices.
     ///
     /// # Panics
@@ -495,6 +514,22 @@ mod tests {
         let bits = [1u8, 0, 0, 1, 1, 0, 1];
         let v = BitVec::from_bits(&bits);
         assert_eq!(v.to_bits(), bits);
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_canonicalizes() {
+        let v = BitVec::from_indices(100, &[0, 63, 64, 99]);
+        assert_eq!(BitVec::from_words(100, v.words().to_vec()), v);
+        // Stray tail bits are cleared.
+        let w = BitVec::from_words(70, vec![0, u64::MAX]);
+        assert_eq!(w.count_ones(), 6);
+        assert_eq!(w.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_count() {
+        BitVec::from_words(65, vec![0]);
     }
 
     #[test]

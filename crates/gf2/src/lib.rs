@@ -13,6 +13,8 @@
 //!   parity-check matrices (thousands of columns, row weight ≪ columns).
 //! * [`Circulant`] — a square circulant matrix described by the positions of
 //!   the ones in its first row, as used by quasi-cyclic LDPC codes.
+//! * [`BitSlices`] — the frame-major ⇄ word-sliced (bit-plane) transpose
+//!   used by bit-sliced decoding: 64 frames per `u64` lane word.
 //!
 //! # Example
 //!
@@ -34,11 +36,13 @@
 mod bitvec;
 mod circulant;
 mod dense;
+mod slices;
 mod sparse;
 
 pub use bitvec::BitVec;
 pub use circulant::Circulant;
 pub use dense::{DenseMatrix, Rref};
+pub use slices::{BitSlices, WORD_LANES};
 pub use sparse::SparseMatrix;
 
 use std::error::Error;

@@ -1,0 +1,253 @@
+//! Word-sliced ("bit-plane") frame storage: the transpose between
+//! frame-major bit vectors and per-bit-position lane words.
+//!
+//! A frame-major layout stores each frame's bits contiguously. The
+//! word-sliced (bit-sliced) layout transposes that: for every bit
+//! *position* there is a plane of `u64` words in which lane `f` holds
+//! frame `f`'s value of that bit. One word op then advances 64 frames in
+//! lockstep — the software limit of the hardware's frames-per-word
+//! message packing, reached when each frame contributes exactly one bit.
+
+use crate::BitVec;
+
+/// Lanes per plane word: the frames carried by one `u64`.
+pub const WORD_LANES: usize = 64;
+
+/// A block of `frames` equal-length bit frames stored as one plane of
+/// lane words per bit position.
+///
+/// Plane `b` occupies `words_per_plane` consecutive `u64`s; frame `f`'s
+/// bit `b` lives in word `f / 64` at bit `f % 64`. Lanes at positions
+/// `>= frames` in the last word of every plane are kept at zero (the same
+/// *canonical form* invariant as [`BitVec`]), so word-parallel operations
+/// never leak stray lanes.
+///
+/// # Example
+///
+/// ```
+/// use gf2::{BitSlices, BitVec};
+///
+/// let frames = vec![
+///     BitVec::from_indices(5, &[0, 3]),
+///     BitVec::from_indices(5, &[3, 4]),
+/// ];
+/// let slices = BitSlices::from_frames(&frames);
+/// // Bit position 3 is set in both frames: lanes 0 and 1.
+/// assert_eq!(slices.plane(3), &[0b11]);
+/// assert_eq!(slices.to_frames(), frames);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSlices {
+    frames: usize,
+    bits: usize,
+    words_per_plane: usize,
+    planes: Vec<u64>,
+}
+
+impl BitSlices {
+    /// Creates an all-zero slice block for `frames` frames of `bits` bits.
+    pub fn zeros(frames: usize, bits: usize) -> Self {
+        let words_per_plane = frames.div_ceil(WORD_LANES);
+        Self {
+            frames,
+            bits,
+            words_per_plane,
+            planes: vec![0; bits * words_per_plane],
+        }
+    }
+
+    /// Transposes frame-major bit vectors into word-sliced planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames do not all have the same length.
+    pub fn from_frames(frames: &[BitVec]) -> Self {
+        let bits = frames.first().map_or(0, BitVec::len);
+        let mut out = Self::zeros(frames.len(), bits);
+        for (f, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.len(), bits, "frame {f} length mismatch");
+            let word = f / WORD_LANES;
+            let lane = 1u64 << (f % WORD_LANES);
+            for b in frame.iter_ones() {
+                out.planes[b * out.words_per_plane + word] |= lane;
+            }
+        }
+        out
+    }
+
+    /// Transposes back to frame-major bit vectors (the inverse of
+    /// [`from_frames`](Self::from_frames)).
+    pub fn to_frames(&self) -> Vec<BitVec> {
+        let mut out = vec![BitVec::zeros(self.bits); self.frames];
+        for b in 0..self.bits {
+            for (w, &plane) in self.plane(b).iter().enumerate() {
+                let mut word = plane;
+                while word != 0 {
+                    let lane = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    out[w * WORD_LANES + lane].set(b, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of frames packed into the planes.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Bits per frame (the plane count).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Lane words per plane (`frames.div_ceil(64)`).
+    pub fn words_per_plane(&self) -> usize {
+        self.words_per_plane
+    }
+
+    /// The lane words of bit position `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= bits`.
+    #[inline]
+    pub fn plane(&self, b: usize) -> &[u64] {
+        assert!(b < self.bits, "bit position {b} out of range");
+        &self.planes[b * self.words_per_plane..(b + 1) * self.words_per_plane]
+    }
+
+    /// Frame `f`'s bit `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= frames` or `b >= bits`.
+    #[inline]
+    pub fn get(&self, f: usize, b: usize) -> bool {
+        assert!(f < self.frames, "frame index {f} out of range");
+        (self.plane(b)[f / WORD_LANES] >> (f % WORD_LANES)) & 1 == 1
+    }
+
+    /// Sets frame `f`'s bit `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= frames` or `b >= bits`.
+    #[inline]
+    pub fn set(&mut self, f: usize, b: usize, value: bool) {
+        assert!(f < self.frames, "frame index {f} out of range");
+        assert!(b < self.bits, "bit position {b} out of range");
+        let idx = b * self.words_per_plane + f / WORD_LANES;
+        let mask = 1u64 << (f % WORD_LANES);
+        if value {
+            self.planes[idx] |= mask;
+        } else {
+            self.planes[idx] &= !mask;
+        }
+    }
+
+    /// Mask of the valid lanes in word `w` of any plane: all ones for
+    /// full words, the low `frames % 64` bits for the final partial word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= words_per_plane`.
+    pub fn lane_mask(&self, w: usize) -> u64 {
+        assert!(w < self.words_per_plane, "plane word {w} out of range");
+        let full = (w + 1) * WORD_LANES <= self.frames;
+        if full {
+            u64::MAX
+        } else {
+            (1u64 << (self.frames % WORD_LANES)) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_set(lens: &[(usize, &[usize])], bits: usize) -> Vec<BitVec> {
+        lens.iter()
+            .map(|&(_, ones)| BitVec::from_indices(bits, ones))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let frames = frame_set(&[(0, &[0, 2]), (1, &[1]), (2, &[0, 1, 2])], 3);
+        let slices = BitSlices::from_frames(&frames);
+        assert_eq!(slices.frames(), 3);
+        assert_eq!(slices.bits(), 3);
+        assert_eq!(slices.words_per_plane(), 1);
+        assert_eq!(slices.to_frames(), frames);
+    }
+
+    #[test]
+    fn planes_hold_lane_bits() {
+        let frames = frame_set(&[(0, &[1]), (1, &[1]), (2, &[0])], 2);
+        let slices = BitSlices::from_frames(&frames);
+        assert_eq!(slices.plane(0), &[0b100]);
+        assert_eq!(slices.plane(1), &[0b011]);
+    }
+
+    #[test]
+    fn more_than_one_word_of_frames() {
+        // 70 frames: bit 0 set in frames 63, 64, 69 only.
+        let mut frames = vec![BitVec::zeros(2); 70];
+        for f in [63usize, 64, 69] {
+            frames[f].set(0, true);
+        }
+        let slices = BitSlices::from_frames(&frames);
+        assert_eq!(slices.words_per_plane(), 2);
+        assert_eq!(slices.plane(0)[0], 1u64 << 63);
+        assert_eq!(slices.plane(0)[1], (1 << 0) | (1 << 5));
+        assert_eq!(slices.plane(1), &[0, 0]);
+        assert_eq!(slices.to_frames(), frames);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut slices = BitSlices::zeros(65, 4);
+        slices.set(64, 3, true);
+        slices.set(0, 0, true);
+        assert!(slices.get(64, 3));
+        assert!(slices.get(0, 0));
+        assert!(!slices.get(63, 3));
+        slices.set(64, 3, false);
+        assert!(!slices.get(64, 3));
+    }
+
+    #[test]
+    fn lane_mask_covers_partial_final_word() {
+        let slices = BitSlices::zeros(70, 1);
+        assert_eq!(slices.lane_mask(0), u64::MAX);
+        assert_eq!(slices.lane_mask(1), (1u64 << 6) - 1);
+        let exact = BitSlices::zeros(64, 1);
+        assert_eq!(exact.lane_mask(0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let slices = BitSlices::from_frames(&[]);
+        assert_eq!(slices.frames(), 0);
+        assert_eq!(slices.bits(), 0);
+        assert!(slices.to_frames().is_empty());
+        let zero_bits = BitSlices::from_frames(&[BitVec::zeros(0), BitVec::zeros(0)]);
+        assert_eq!(zero_bits.frames(), 2);
+        assert_eq!(zero_bits.to_frames(), vec![BitVec::zeros(0); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_frames_rejected() {
+        BitSlices::from_frames(&[BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plane_out_of_range_panics() {
+        BitSlices::zeros(1, 2).plane(2);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for the GF(2) substrate.
 
-use gf2::{BitVec, Circulant, DenseMatrix, SparseMatrix};
+use gf2::{BitSlices, BitVec, Circulant, DenseMatrix, SparseMatrix};
 use proptest::prelude::*;
 
 fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
@@ -135,6 +135,60 @@ proptest! {
             prop_assert_eq!(inv.mul(&m), DenseMatrix::identity(5));
         } else {
             prop_assert!(m.rank() < 5);
+        }
+    }
+
+    /// Frame-major → word-sliced → frame-major is the identity for
+    /// arbitrary frame counts (including non-multiples of 64) and lengths.
+    #[test]
+    fn bitslice_transpose_roundtrips(
+        n_frames in 0usize..150,
+        bits in 0usize..70,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic per-case bit content (xorshift keeps the input
+        // independent of the strategy's shrinking order).
+        let mut state = seed | 1;
+        let frames: Vec<BitVec> = (0..n_frames)
+            .map(|_| {
+                (0..bits)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect();
+        let slices = BitSlices::from_frames(&frames);
+        prop_assert_eq!(slices.frames(), n_frames);
+        prop_assert_eq!(slices.words_per_plane(), n_frames.div_ceil(64));
+        // Canonical form: no lane beyond `frames` is ever set.
+        for b in 0..slices.bits() {
+            for (w, &word) in slices.plane(b).iter().enumerate() {
+                prop_assert_eq!(word & !slices.lane_mask(w), 0);
+            }
+        }
+        prop_assert_eq!(slices.to_frames(), frames);
+    }
+
+    /// Element access agrees with the frame-major view of the same data.
+    #[test]
+    fn bitslice_get_matches_frames(
+        n_frames in 1usize..70,
+        ones in prop::collection::vec((0usize..70, 0usize..9), 0..20),
+    ) {
+        let bits = 9;
+        let mut frames = vec![BitVec::zeros(bits); n_frames];
+        for &(f, b) in &ones {
+            frames[f % n_frames].set(b, true);
+        }
+        let slices = BitSlices::from_frames(&frames);
+        for (f, frame) in frames.iter().enumerate() {
+            for b in 0..bits {
+                prop_assert_eq!(slices.get(f, b), frame.get(b));
+            }
         }
     }
 }

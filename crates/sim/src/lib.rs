@@ -417,6 +417,40 @@ where
     run_point_impl(code, encoder, cfg, || BatchBlocks(factory()))
 }
 
+/// Simulates one Eb/N0 point with the bit-sliced hard-decision decoder:
+/// each worker claims, generates, and decodes frames 64 at a time, one
+/// `u64` lane word per bit position.
+///
+/// This is the hard-decision counterpart of [`run_point_batched`], built
+/// on the same engine with a
+/// [`BitsliceGallagerBDecoder`](ldpc_core::BitsliceGallagerBDecoder)
+/// (majority threshold `flip_threshold`) per worker. Because the
+/// bit-sliced decoder is bit-exact per lane against the scalar
+/// [`GallagerBDecoder`](ldpc_core::GallagerBDecoder), a single-threaded
+/// run with `target_frame_errors == 0` produces *identical* BER/PER
+/// counts to [`run_point`] with the scalar decoder — it just decodes 64
+/// frames per word pass. The block-granularity caveats of
+/// [`run_point_batched`] (partial final block, between-block stop checks)
+/// apply unchanged.
+///
+/// # Panics
+///
+/// Panics if `max_frames == 0`, if [`Transmission::Random`] is requested
+/// without an encoder, or if `flip_threshold` is zero.
+pub fn run_point_bitsliced(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    cfg: &MonteCarloConfig,
+    flip_threshold: usize,
+) -> PointResult {
+    run_point_impl(code, encoder, cfg, || {
+        BatchBlocks(ldpc_core::BitsliceGallagerBDecoder::new(
+            Arc::clone(code),
+            flip_threshold,
+        ))
+    })
+}
+
 /// Sweeps a list of Eb/N0 points (the x-axis of the paper's Figure 4).
 ///
 /// Each point reuses `base` with its `ebn0_db` replaced and the seed
@@ -696,6 +730,49 @@ mod tests {
             FixedDecoder::new(demo_code(), FixedConfig::default())
         });
         assert_eq!(batched, per_frame);
+    }
+
+    #[test]
+    fn bitsliced_point_matches_scalar_gallager_b_single_thread() {
+        // The hard-decision mirror of the batched equality: 64 frames per
+        // word, same noise stream, bit-exact lanes, identical counts.
+        let code = demo_code();
+        for ebn0 in [3.0, 6.0] {
+            let cfg = MonteCarloConfig {
+                threads: 1,
+                ..quick_cfg(ebn0)
+            };
+            let scalar = run_point(&code, None, &cfg, || {
+                ldpc_core::GallagerBDecoder::new(demo_code(), 3)
+            });
+            let sliced = run_point_bitsliced(&code, None, &cfg, 3);
+            assert_eq!(sliced, scalar, "ebn0={ebn0}");
+        }
+    }
+
+    #[test]
+    fn bitsliced_partial_final_word_counts_all_frames() {
+        // 100 frames with 64-lane words: blocks of 64 and 36.
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 100,
+            threads: 1,
+            ..quick_cfg(7.0)
+        };
+        let point = run_point_bitsliced(&code, None, &cfg, 3);
+        assert_eq!(point.frames, 100);
+    }
+
+    #[test]
+    fn bitsliced_multi_thread_respects_max_frames() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 200,
+            threads: 3,
+            ..quick_cfg(5.0)
+        };
+        let point = run_point_bitsliced(&code, None, &cfg, 3);
+        assert_eq!(point.frames, 200);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Cross-decoder conformance suite: one parameterized harness over every
+//! decoder family in the workspace.
+//!
+//! Two classes of guarantee, asserted on a shared corpus of noisy frames:
+//!
+//! 1. **Soundness** — whenever any decoder reports success (`converged`),
+//!    its hard decision is a valid codeword (zero syndrome). A decoder
+//!    may fail to decode; it must never claim success on a non-codeword.
+//! 2. **Documented bit-exact pairs** — the batched decoders against their
+//!    per-frame counterparts, and the bit-sliced Gallager-B against the
+//!    scalar one, must agree bit for bit, frame by frame.
+//!
+//! Every family is additionally checked to be deterministic (same corpus
+//! twice → same results), which is what makes the golden vectors in
+//! `golden_vectors.rs` meaningful.
+//!
+//! The corpus seed defaults to a fixed value and can be pinned from the
+//! environment (`LDPC_CONFORMANCE_SEED`) — CI runs this suite single
+//! threaded with an explicit seed so lane-masking bugs that depend on a
+//! specific noise interleaving stay reproducible.
+
+use ccsds_ldpc::channel::AwgnChannel;
+use ccsds_ldpc::core::codes::small::demo_code;
+use ccsds_ldpc::core::{
+    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
+    DecodeResult, Decoder, FixedConfig, FixedDecoder, GallagerBDecoder, LayeredMinSumDecoder,
+    MinSumConfig, MinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
+};
+use ccsds_ldpc::gf2::BitVec;
+
+const MAX_ITERATIONS: u32 = 15;
+
+/// The corpus seed: fixed by default, overridable from the environment so
+/// CI can pin (or sweep) the exact noise realization.
+fn corpus_seed() -> u64 {
+    std::env::var("LDPC_CONFORMANCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0DE_2009)
+}
+
+/// Noisy all-zero frames over AWGN at several operating points, from the
+/// clearly-decodable to the clearly-hopeless, stored back to back.
+fn corpus() -> Vec<f32> {
+    let code = demo_code();
+    let seed = corpus_seed();
+    let mut llrs = Vec::new();
+    for (i, ebn0) in [8.0, 5.0, 3.0, 1.0, -1.0].into_iter().enumerate() {
+        let mut channel = AwgnChannel::from_ebn0(ebn0, code.rate(), seed.wrapping_add(i as u64));
+        let zero = BitVec::zeros(code.n());
+        for _ in 0..16 {
+            llrs.extend(channel.transmit_codeword(&zero));
+        }
+    }
+    llrs
+}
+
+/// One decoder family under test: a name and a closure decoding the whole
+/// corpus (frame-contiguous LLRs) into per-frame results.
+struct Family {
+    name: &'static str,
+    decode: Box<dyn FnMut(&[f32], u32) -> Vec<DecodeResult>>,
+}
+
+/// Wraps a per-frame [`Decoder`] as a corpus decoder.
+fn per_frame<D: Decoder + 'static>(name: &'static str, mut dec: D) -> Family {
+    Family {
+        name,
+        decode: Box::new(move |llrs, iters| decode_frames(&mut dec, llrs, iters)),
+    }
+}
+
+/// Wraps a [`BatchDecoder`] as a corpus decoder (full words, partial tail).
+fn batched<D: BatchDecoder + 'static>(name: &'static str, mut dec: D) -> Family {
+    Family {
+        name,
+        decode: Box::new(move |llrs, iters| {
+            let block = dec.capacity() * dec.n();
+            llrs.chunks(block)
+                .flat_map(|chunk| dec.decode_batch(chunk, iters))
+                .collect()
+        }),
+    }
+}
+
+/// Every decoder family in the workspace, built over the demo code.
+fn all_families() -> Vec<Family> {
+    let code = demo_code();
+    vec![
+        per_frame("sum-product", SumProductDecoder::new(code.clone())),
+        per_frame(
+            "min-sum plain",
+            MinSumDecoder::new(code.clone(), MinSumConfig::plain()),
+        ),
+        per_frame(
+            "min-sum normalized",
+            MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0)),
+        ),
+        per_frame(
+            "min-sum offset",
+            MinSumDecoder::new(code.clone(), MinSumConfig::offset(0.15)),
+        ),
+        per_frame(
+            "layered min-sum",
+            LayeredMinSumDecoder::new(code.clone(), 4.0 / 3.0),
+        ),
+        per_frame(
+            "fixed-point",
+            FixedDecoder::new(code.clone(), FixedConfig::default()),
+        ),
+        per_frame("gallager-b", GallagerBDecoder::new(code.clone(), 3)),
+        per_frame(
+            "weighted bit-flip",
+            WeightedBitFlipDecoder::new(code.clone()),
+        ),
+        batched(
+            "batch min-sum",
+            BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), 8),
+        ),
+        batched(
+            "batch fixed",
+            BatchFixedDecoder::new(code.clone(), FixedConfig::default(), 8),
+        ),
+        batched(
+            "bitslice gallager-b",
+            BitsliceGallagerBDecoder::new(code.clone(), 3),
+        ),
+    ]
+}
+
+#[test]
+fn every_family_reports_success_only_on_valid_codewords() {
+    let code = demo_code();
+    let llrs = corpus();
+    let n_frames = llrs.len() / code.n();
+    for mut family in all_families() {
+        let results = (family.decode)(&llrs, MAX_ITERATIONS);
+        assert_eq!(
+            results.len(),
+            n_frames,
+            "{}: result count mismatch",
+            family.name
+        );
+        let mut successes = 0usize;
+        for (f, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.hard_decision.len(),
+                code.n(),
+                "{}: frame {f} wrong length",
+                family.name
+            );
+            if r.converged {
+                successes += 1;
+                assert!(
+                    code.is_codeword(&r.hard_decision),
+                    "{}: frame {f} claimed success on a non-codeword",
+                    family.name
+                );
+                assert!(
+                    r.iterations <= MAX_ITERATIONS,
+                    "{}: frame {f} overspent the budget",
+                    family.name
+                );
+            }
+        }
+        // The corpus spans clean to hopeless: every family must decode
+        // the clean end and none may decode everything.
+        assert!(
+            successes >= 16,
+            "{}: only {successes}/{n_frames} frames decoded — corpus broken?",
+            family.name
+        );
+        assert!(
+            successes < n_frames,
+            "{}: decoded the hopeless frames too — corpus broken?",
+            family.name
+        );
+    }
+}
+
+#[test]
+fn every_family_is_deterministic_on_the_corpus() {
+    let llrs = corpus();
+    for mut family in all_families() {
+        let a = (family.decode)(&llrs, MAX_ITERATIONS);
+        let b = (family.decode)(&llrs, MAX_ITERATIONS);
+        assert_eq!(a, b, "{}: decode is not deterministic", family.name);
+    }
+}
+
+/// The documented bit-exact pairs: (reference family, mirror family).
+/// Each mirror promises byte-identical `DecodeResult`s to its reference.
+#[test]
+fn documented_bit_exact_pairs_agree() {
+    let code = demo_code();
+    let llrs = corpus();
+    let pairs: [(Family, Family); 3] = [
+        (
+            per_frame(
+                "min-sum normalized",
+                MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0)),
+            ),
+            batched(
+                "batch min-sum",
+                BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), 8),
+            ),
+        ),
+        (
+            per_frame(
+                "fixed-point",
+                FixedDecoder::new(code.clone(), FixedConfig::default()),
+            ),
+            batched(
+                "batch fixed",
+                BatchFixedDecoder::new(code.clone(), FixedConfig::default(), 8),
+            ),
+        ),
+        (
+            per_frame("gallager-b", GallagerBDecoder::new(code.clone(), 3)),
+            batched(
+                "bitslice gallager-b",
+                BitsliceGallagerBDecoder::new(code.clone(), 3),
+            ),
+        ),
+    ];
+    for (mut reference, mut mirror) in pairs {
+        let want = (reference.decode)(&llrs, MAX_ITERATIONS);
+        let got = (mirror.decode)(&llrs, MAX_ITERATIONS);
+        assert_eq!(
+            got, want,
+            "{} diverged from its reference {}",
+            mirror.name, reference.name
+        );
+    }
+}
+
+/// The soundness contract holds at a tiny iteration budget too, where
+/// most frames end unconverged.
+#[test]
+fn starved_budget_still_sound() {
+    let code = demo_code();
+    let llrs = corpus();
+    for mut family in all_families() {
+        for r in (family.decode)(&llrs, 1) {
+            if r.converged {
+                assert!(
+                    code.is_codeword(&r.hard_decision),
+                    "{}: success on non-codeword at budget 1",
+                    family.name
+                );
+            }
+        }
+    }
+}

@@ -6,7 +6,10 @@
 //! deliberately) or a regression slipped into the datapath.
 
 use ccsds_ldpc::core::codes::{ccsds_c2, small::demo_code};
-use ccsds_ldpc::core::{FixedConfig, FixedDecoder};
+use ccsds_ldpc::core::{
+    BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, DecodeResult, Decoder, FixedConfig,
+    FixedDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder,
+};
 use ccsds_ldpc::gf2::BitVec;
 
 /// FNV-1a over the bit string: cheap, stable fingerprint.
@@ -87,6 +90,119 @@ fn fixed_decoder_output_is_stable_per_input() {
         fingerprint(&fresh.decode_quantized(&noisy, 18).hard_decision)
     };
     assert_eq!(fp, again, "fresh decoder instance must be bit-identical");
+}
+
+/// Frozen fingerprints of the batch/layered decoder outputs on the
+/// deterministic golden batches below. If one changes, either a real
+/// behavioural change happened (update deliberately, with a CHANGES.md
+/// note) or a scheduling refactor silently altered results.
+const GOLDEN_BATCH_FIXED: u64 = 13_121_139_592_671_188_269;
+const GOLDEN_BATCH_MINSUM: u64 = 13_624_013_924_586_681_079;
+const GOLDEN_LAYERED: u64 = 12_643_584_728_896_840_517;
+
+/// Folds a whole result set (hard decisions, iteration counts, converged
+/// flags) into one stable fingerprint.
+fn results_fingerprint(results: &[DecodeResult]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in results {
+        hash ^= fingerprint(&r.hard_decision);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        hash ^= u64::from(r.iterations) << 1 | u64::from(r.converged);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// A deterministic mixed-quality batch of quantized (hardware-format)
+/// frames: clean, lightly corrupted, heavily corrupted.
+fn golden_quantized_batch(n: usize, frames: usize) -> Vec<i16> {
+    let mut channel = Vec::with_capacity(frames * n);
+    for f in 0..frames {
+        let bits = pattern(n, 0xBA7C_4000 + f as u64);
+        for (i, &b) in bits.iter().enumerate() {
+            let corrupt = match f % 3 {
+                0 => false,                // clean frame
+                1 => b == 1 && i % 9 == 0, // a few wrong-signed bits
+                _ => b == 1 && i % 3 == 0, // heavy corruption
+            };
+            channel.push(if corrupt { -4 } else { 7 });
+        }
+    }
+    channel
+}
+
+/// The float view of the same batch (step 0.5 LLR per level).
+fn golden_float_batch(n: usize, frames: usize) -> Vec<f32> {
+    golden_quantized_batch(n, frames)
+        .iter()
+        .map(|&q| f32::from(q) * 0.5)
+        .collect()
+}
+
+#[test]
+fn batch_fixed_decoder_golden_vectors() {
+    // Freezes the batched fixed-point datapath on a deterministic
+    // mixed-quality batch: any scheduling refactor that changes an output
+    // bit, an iteration count, or a convergence flag moves this
+    // fingerprint. The per-frame cross-check localizes a failure to the
+    // batch layer (fingerprint moved, cross-check intact = both paths
+    // changed together, i.e. a datapath change).
+    let code = demo_code();
+    let n = code.n();
+    let channel = golden_quantized_batch(n, 6);
+    let mut batched = BatchFixedDecoder::new(code.clone(), FixedConfig::default(), 6);
+    let out = batched.decode_quantized_batch(&channel, 18);
+    let mut single = FixedDecoder::new(code.clone(), FixedConfig::default());
+    for (f, r) in out.iter().enumerate() {
+        let want = single.decode_quantized(&channel[f * n..(f + 1) * n], 18);
+        assert_eq!(*r, want, "frame {f} diverged from the per-frame decoder");
+    }
+    // The mix must exercise both outcomes for the freeze to mean much.
+    assert!(out.iter().any(|r| r.converged));
+    assert!(out.iter().any(|r| r.iterations > 1));
+    assert_eq!(results_fingerprint(&out), GOLDEN_BATCH_FIXED);
+}
+
+#[test]
+fn batch_minsum_decoder_golden_vectors() {
+    let code = demo_code();
+    let n = code.n();
+    let llrs = golden_float_batch(n, 6);
+    let cfg = MinSumConfig::normalized(4.0 / 3.0);
+    let mut batched = BatchMinSumDecoder::new(code.clone(), cfg.clone(), 6);
+    let out = batched.decode_batch(&llrs, 18);
+    let mut single = MinSumDecoder::new(code.clone(), cfg);
+    for (f, r) in out.iter().enumerate() {
+        let want = single.decode(&llrs[f * n..(f + 1) * n], 18);
+        assert_eq!(*r, want, "frame {f} diverged from the per-frame decoder");
+    }
+    assert!(out.iter().any(|r| r.converged));
+    assert_eq!(results_fingerprint(&out), GOLDEN_BATCH_MINSUM);
+}
+
+#[test]
+fn layered_decoder_golden_vectors() {
+    // The serial schedule has no bit-exact per-frame twin, so the frozen
+    // fingerprint is the only tripwire against silent schedule changes
+    // (e.g. reordering the check sweep, which changes message arrival
+    // order and therefore outputs).
+    let code = demo_code();
+    let n = code.n();
+    let llrs = golden_float_batch(n, 6);
+    let mut dec = LayeredMinSumDecoder::new(code.clone(), 4.0 / 3.0);
+    let out: Vec<DecodeResult> = llrs
+        .chunks_exact(n)
+        .map(|frame| dec.decode(frame, 18))
+        .collect();
+    assert!(out.iter().any(|r| r.converged));
+    // A fresh instance must reproduce the exact same results.
+    let mut fresh = LayeredMinSumDecoder::new(code, 4.0 / 3.0);
+    let again: Vec<DecodeResult> = llrs
+        .chunks_exact(n)
+        .map(|frame| fresh.decode(frame, 18))
+        .collect();
+    assert_eq!(out, again);
+    assert_eq!(results_fingerprint(&out), GOLDEN_LAYERED);
 }
 
 #[test]
