@@ -15,6 +15,9 @@ use ldpc_core::{
     SelfCorrectedMinSumDecoder, WeightedBitFlipDecoder,
 };
 
+/// Boxed per-frame channel realization, keyed by frame index.
+type ChannelFn = Box<dyn FnMut(u64) -> Vec<f32>>;
+
 /// Frame error count of `decoder` over `frames` all-zero transmissions
 /// drawn by `make_llrs`.
 fn fer(
@@ -41,7 +44,7 @@ fn regenerate_a6() {
     let frames = 400u64;
     let iters = 25;
 
-    let channels: Vec<(&str, Box<dyn FnMut(u64) -> Vec<f32>>)> = vec![
+    let channels: Vec<(&str, ChannelFn)> = vec![
         ("AWGN 4.0 dB", {
             let code = code.clone();
             let mut ch = AwgnChannel::from_ebn0(4.0, code.rate(), 11);

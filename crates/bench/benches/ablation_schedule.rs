@@ -8,9 +8,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldpc_bench::{announce, bench_mc_config};
 use ldpc_core::codes::small::demo_code;
-use ldpc_core::{Decoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder};
+use ldpc_core::{Decoder, DecoderSpec, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder};
 use ldpc_hwsim::render_table;
-use ldpc_sim::run_point;
+use ldpc_sim::run_point_spec;
 
 fn regenerate_a3() {
     announce("A3", "schedule ablation (flooding vs serial)");
@@ -18,12 +18,18 @@ fn regenerate_a3() {
     let rows: Vec<Vec<String>> = [2.5f64, 3.5, 4.5]
         .iter()
         .map(|&ebn0| {
-            let flood = run_point(&code, None, &bench_mc_config(ebn0, 50), || {
-                MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-            });
-            let layered = run_point(&code, None, &bench_mc_config(ebn0, 50), || {
-                LayeredMinSumDecoder::new(demo_code(), 4.0 / 3.0)
-            });
+            let flood = run_point_spec(
+                &code,
+                None,
+                &bench_mc_config(ebn0, 50),
+                &DecoderSpec::parse("nms").unwrap(),
+            );
+            let layered = run_point_spec(
+                &code,
+                None,
+                &bench_mc_config(ebn0, 50),
+                &DecoderSpec::parse("layered").unwrap(),
+            );
             vec![
                 format!("{ebn0:.1}"),
                 format!("{:.1}", flood.avg_iterations()),

@@ -9,34 +9,14 @@
 //! bar is >= 1.5x frames/sec at batch 8 on the small code.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gf2::BitVec;
-use ldpc_bench::announce;
-use ldpc_channel::AwgnChannel;
+use ldpc_bench::{announce, frames_per_sec, noisy_frames};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
 use ldpc_core::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, FixedConfig, FixedDecoder,
-    LdpcCode, MinSumConfig, MinSumDecoder,
+    MinSumConfig, MinSumDecoder,
 };
-use std::sync::Arc;
 
 const ITERS: u32 = 10;
-
-/// Noisy all-zero frames at 4 dB, stored back to back.
-fn noisy_frames(code: &Arc<LdpcCode>, count: usize, seed: u64) -> Vec<f32> {
-    let mut channel = AwgnChannel::from_ebn0(4.0, code.rate(), seed);
-    let zero = BitVec::zeros(code.n());
-    let mut llrs = Vec::with_capacity(count * code.n());
-    for _ in 0..count {
-        llrs.extend(channel.transmit_codeword(&zero));
-    }
-    llrs
-}
-
-fn frames_per_sec(total_frames: usize, mut run: impl FnMut()) -> f64 {
-    let start = std::time::Instant::now();
-    run();
-    total_frames as f64 / start.elapsed().as_secs_f64()
-}
 
 fn regenerate_a5() {
     announce(
@@ -46,7 +26,7 @@ fn regenerate_a5() {
     // Small code, float min-sum.
     let code = demo_code();
     let total = 512;
-    let llrs = noisy_frames(&code, total, 11);
+    let llrs = noisy_frames(&code, total, 4.0, 11);
     let cfg = MinSumConfig::normalized(4.0 / 3.0).with_early_stop(false);
     let mut per_frame = MinSumDecoder::new(code.clone(), cfg.clone());
     let reference = decode_frames(&mut per_frame, &llrs, ITERS);
@@ -67,7 +47,7 @@ fn regenerate_a5() {
     // Full C2 code, fixed-point datapath.
     let c2 = ccsds_c2::code();
     let total = 16;
-    let llrs = noisy_frames(&c2, total, 12);
+    let llrs = noisy_frames(&c2, total, 4.0, 12);
     let fcfg = FixedConfig::default().with_early_stop(false);
     let mut per_frame = FixedDecoder::new(c2.clone(), fcfg);
     let reference = decode_frames(&mut per_frame, &llrs, ITERS);
@@ -90,7 +70,7 @@ fn bench(c: &mut Criterion) {
     regenerate_a5();
 
     let code = demo_code();
-    let llrs8 = noisy_frames(&code, 8, 21);
+    let llrs8 = noisy_frames(&code, 8, 4.0, 21);
     let cfg = MinSumConfig::normalized(4.0 / 3.0).with_early_stop(false);
     let mut group = c.benchmark_group("a5_batch_throughput_demo");
     group.sample_size(20);
@@ -106,7 +86,7 @@ fn bench(c: &mut Criterion) {
     group.finish();
 
     let c2 = ccsds_c2::code();
-    let llrs8 = noisy_frames(&c2, 8, 22);
+    let llrs8 = noisy_frames(&c2, 8, 4.0, 22);
     let fcfg = FixedConfig::default().with_early_stop(false);
     let mut group = c.benchmark_group("a5_batch_throughput_c2");
     group.sample_size(10);

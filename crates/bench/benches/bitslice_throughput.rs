@@ -11,9 +11,7 @@
 //! >= 5x frames/sec on the demo code.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gf2::BitVec;
-use ldpc_bench::announce;
-use ldpc_channel::AwgnChannel;
+use ldpc_bench::{announce, frames_per_sec, noisy_frames};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
 use ldpc_core::{
     decode_frames, BatchDecoder, BitsliceGallagerBDecoder, GallagerBDecoder, LdpcCode,
@@ -22,23 +20,6 @@ use std::sync::Arc;
 
 const ITERS: u32 = 10;
 const THRESHOLD: usize = 3;
-
-/// Noisy all-zero frames at `ebn0` dB, stored back to back.
-fn noisy_frames(code: &Arc<LdpcCode>, count: usize, ebn0: f64, seed: u64) -> Vec<f32> {
-    let mut channel = AwgnChannel::from_ebn0(ebn0, code.rate(), seed);
-    let zero = BitVec::zeros(code.n());
-    let mut llrs = Vec::with_capacity(count * code.n());
-    for _ in 0..count {
-        llrs.extend(channel.transmit_codeword(&zero));
-    }
-    llrs
-}
-
-fn frames_per_sec(total_frames: usize, mut run: impl FnMut()) -> f64 {
-    let start = std::time::Instant::now();
-    run();
-    total_frames as f64 / start.elapsed().as_secs_f64()
-}
 
 fn compare(label: &str, code: &Arc<LdpcCode>, total: usize, ebn0: f64, seed: u64) -> f64 {
     let llrs = noisy_frames(code, total, ebn0, seed);

@@ -10,9 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ldpc_bench::{announce, bench_mc_config};
 use ldpc_core::codes::small::demo_code;
 use ldpc_core::decoder::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
-use ldpc_core::{MinSumConfig, MinSumDecoder};
+use ldpc_core::DecoderSpec;
 use ldpc_hwsim::render_table;
-use ldpc_sim::run_point;
+use ldpc_sim::run_point_spec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,14 +25,12 @@ fn regenerate_e5() {
     let rows: Vec<Vec<String>> = alphas
         .iter()
         .map(|&alpha| {
-            let cfg = if alpha == 1.0 {
-                MinSumConfig::plain()
+            let spec = if alpha == 1.0 {
+                DecoderSpec::parse("ms").unwrap()
             } else {
-                MinSumConfig::normalized(alpha)
+                DecoderSpec::parse(&format!("nms:{alpha}")).unwrap()
             };
-            let point = run_point(&code, None, &bench_mc_config(3.0, 18), move || {
-                MinSumDecoder::new(demo_code(), cfg.clone())
-            });
+            let point = run_point_spec(&code, None, &bench_mc_config(3.0, 18), &spec);
             vec![
                 format!("{alpha:.3}"),
                 format!("{:.2e}", point.ber()),
@@ -51,12 +49,18 @@ fn regenerate_e5() {
     );
 
     // --- E5: 18 scaled iterations vs 50 plain iterations. ---
-    let plain = run_point(&code, None, &bench_mc_config(3.0, 50), || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::plain())
-    });
-    let scaled = run_point(&code, None, &bench_mc_config(3.0, 18), || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-    });
+    let plain = run_point_spec(
+        &code,
+        None,
+        &bench_mc_config(3.0, 50),
+        &DecoderSpec::parse("ms").unwrap(),
+    );
+    let scaled = run_point_spec(
+        &code,
+        None,
+        &bench_mc_config(3.0, 18),
+        &DecoderSpec::parse("nms").unwrap(),
+    );
     println!(
         "{}",
         render_table(

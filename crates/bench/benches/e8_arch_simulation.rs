@@ -27,7 +27,7 @@ fn regenerate_e8() {
     for cfg in [ArchConfig::low_cost(), ArchConfig::high_speed()] {
         let sim = ArchSimulator::new(cfg.clone(), code.clone());
         let model = ThroughputModel::new(cfg.clone(), CodeDims::ccsds_c2());
-        let out = sim.decode(&[frame.clone()], 18);
+        let out = sim.decode(std::slice::from_ref(&frame), 18);
         let mut reference = FixedDecoder::new(code.clone(), cfg.fixed);
         let ref_out = reference.decode_quantized(&frame, 18);
         let exact = out.results[0] == ref_out;
@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8");
     group.sample_size(10);
     group.bench_function("cycle_sim_c2_18_iterations", |b| {
-        b.iter(|| sim.decode(std::hint::black_box(&[frame.clone()]), 18))
+        b.iter(|| sim.decode(std::hint::black_box(std::slice::from_ref(&frame)), 18))
     });
     group.finish();
 }

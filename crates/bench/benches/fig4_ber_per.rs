@@ -10,9 +10,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldpc_bench::{announce, bench_mc_config, c2_mc_config};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
-use ldpc_core::{FixedConfig, FixedDecoder};
+use ldpc_core::DecoderSpec;
 use ldpc_hwsim::render_table;
-use ldpc_sim::{run_curve, run_point};
+use ldpc_sim::{run_curve_spec, run_point_spec};
 
 fn regenerate_fig4() {
     announce(
@@ -23,9 +23,8 @@ fn regenerate_fig4() {
     // Demo-code waterfall: same QC structure, 1/33 block length.
     let code = demo_code();
     let points = [1.5, 2.5, 3.5, 4.5, 5.5];
-    let results = run_curve(&code, None, &points, &bench_mc_config(0.0, 18), || {
-        FixedDecoder::new(demo_code(), FixedConfig::default())
-    });
+    let fixed = DecoderSpec::parse("fixed").unwrap();
+    let results = run_curve_spec(&code, None, &points, &bench_mc_config(0.0, 18), &fixed);
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|p| {
@@ -50,9 +49,7 @@ fn regenerate_fig4() {
     // C2 anchor points near the waterfall knee.
     let c2 = ccsds_c2::code();
     let c2_points = [3.6, 4.0];
-    let c2_results = run_curve(&c2, None, &c2_points, &c2_mc_config(0.0, 18), || {
-        FixedDecoder::new(ccsds_c2::code(), FixedConfig::default())
-    });
+    let c2_results = run_curve_spec(&c2, None, &c2_points, &c2_mc_config(0.0, 18), &fixed);
     let rows: Vec<Vec<String>> = c2_results
         .iter()
         .map(|p| {
@@ -86,9 +83,7 @@ fn bench(c: &mut Criterion) {
             let mut cfg = bench_mc_config(3.5, 18);
             cfg.max_frames = 200;
             cfg.target_frame_errors = 0;
-            run_point(&code, None, &cfg, || {
-                FixedDecoder::new(demo_code(), FixedConfig::default())
-            })
+            run_point_spec(&code, None, &cfg, &DecoderSpec::parse("fixed").unwrap())
         })
     });
     group.finish();

@@ -5,15 +5,12 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use ldpc_core::codes::{ccsds_c2, small::demo_code};
-use ldpc_core::{
-    BatchFixedDecoder, BatchMinSumDecoder, FixedConfig, FixedDecoder, GallagerBDecoder, LdpcCode,
-    MinSumConfig, MinSumDecoder, SumProductDecoder,
-};
+use ldpc_core::{DecoderSpec, LdpcCode};
 use ldpc_hwsim::{
     devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
     ThroughputModel,
 };
-use ldpc_sim::{run_point, run_point_batched, MonteCarloConfig, Transmission};
+use ldpc_sim::{run_curve_spec, run_point_spec, MonteCarloConfig, Transmission};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -34,6 +31,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         "info" => cmd_info(args),
         "encode" => cmd_encode(args),
         "simulate" => cmd_simulate(args),
+        "sweep" => cmd_sweep(args),
         "plan" => cmd_plan(args),
         "tables" => Ok(cmd_tables()),
         other => Err(format!("unknown command {other:?} (try `ldpc-tool help`)").into()),
@@ -42,7 +40,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 
 /// The help text.
 pub fn help_text() -> String {
-    "\
+    format!(
+        "\
 ldpc-tool — CCSDS near-earth LDPC decoder toolbox
 
 USAGE: ldpc-tool <COMMAND> [OPTIONS]
@@ -51,20 +50,30 @@ COMMANDS:
   info                      print the C2 code parameters
   encode [--random|--zeros] [--seed N]
                             encode one 7154-bit frame; prints codeword bits
-  simulate [--demo|--c2] [--ebn0 DB] [--frames N] [--iters N]
-           [--decoder fixed|nms|spa] [--batch N] [--threads N] [--seed N]
-           [--hard [--bitslice] [--threshold N]]
+  simulate [--demo|--c2] [--decoder SPEC] [--ebn0 DB] [--frames N]
+           [--iters N] [--threads N] [--seed N]
                             Monte-Carlo one operating point; prints CSV
-                            (--batch N > 1 decodes N frames in lockstep,
-                            fixed and nms only; --threads 0 = all cores;
-                            --hard selects Gallager-B bit flipping and
-                            --bitslice packs 64 frames per u64 word)
+                            (--threads 0 = all cores)
+  sweep --decoders SPEC,SPEC,... [--demo|--c2] [--ebn0s DB,DB,...]
+        [--frames N] [--iters N] [--threads N] [--seed N]
+                            one CSV across decoder families and Eb/N0
+                            points — same engine, one row per combination
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
   help                      this text
-"
-    .to_owned()
+
+DECODER SPECS (simulate --decoder / sweep --decoders):
+  family[:param][@modifier...] — families: {families}
+  examples: spa | nms:1.25 | oms:0.15 | fixed | layered:1.25
+            gallager-b:t=2 | nms:1.25@batch=8 | gallager-b@bitslice
+  modifiers: @batch=N (lockstep frame batching: ms, nms, oms, fixed)
+             @bitslice (64 frames per u64 word: gallager-b)
+  deprecated flags --batch N, --hard, --bitslice, --threshold N still
+  map onto the matching spec
+",
+        families = DecoderSpec::family_names().join(", ")
+    )
 }
 
 fn code_selection(args: &ParsedArgs) -> (Arc<LdpcCode>, &'static str) {
@@ -117,46 +126,71 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
-fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    let (code, label) = code_selection(args);
-    let ebn0: f64 = args.get_or("ebn0", 4.0)?;
+/// The shared Monte-Carlo configuration of `simulate` and `sweep`,
+/// parsed from the common flags (`--frames/--iters/--seed/--threads`).
+/// One definition, so a sweep row always reproduces a simulate run with
+/// the same flags at point index 0. `ebn0_db` is left at 0.0 — the
+/// caller sets it (simulate) or `run_curve_spec` derives it per point
+/// (sweep).
+fn mc_config_from_args(args: &ParsedArgs, label: &str) -> Result<MonteCarloConfig, Box<dyn Error>> {
     let default_frames = if label == "c2" { 50 } else { 2_000 };
     let frames: u64 = args.get_or("frames", default_frames)?;
-    let iters: u32 = args.get_or("iters", 18u32)?;
-    let seed: u64 = args.get_or("seed", 0xC11u64)?;
-    let decoder: String = args.get_or("decoder", "fixed".to_owned())?;
-    let batch: usize = args.get_or("batch", 1usize)?;
-    if batch == 0 {
+    if frames == 0 {
         return Err(Box::new(ArgError::InvalidValue {
-            option: "batch".into(),
+            option: "frames".into(),
             value: "0".into(),
         }));
     }
-    let threads: usize = args.get_or("threads", 0usize)?;
-    let cfg = MonteCarloConfig {
-        ebn0_db: ebn0,
+    Ok(MonteCarloConfig {
+        ebn0_db: 0.0,
         max_frames: frames,
         target_frame_errors: 0,
-        max_iterations: iters,
-        seed,
-        threads,
+        max_iterations: args.get_or("iters", 18u32)?,
+        seed: args.get_or("seed", 0xC11u64)?,
+        threads: args.get_or("threads", 0usize)?,
         transmission: Transmission::AllZero,
+    })
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let (code, label) = code_selection(args);
+    let spec = resolve_decoder_spec(args)?;
+    let cfg = MonteCarloConfig {
+        ebn0_db: args.get_or("ebn0", 4.0)?,
+        ..mc_config_from_args(args, label)?
     };
-    // Hard-decision path: scalar Gallager-B, or 64 frames per u64 word
-    // with --bitslice. Bit-exact per lane, so --bitslice (like --batch)
-    // only changes wall-clock, never the statistics.
+    let point = run_point_spec(&code, None, &cfg, &spec);
+    Ok(format!(
+        "{CSV_HEADER}\n{}\n",
+        simulate_csv_row(label, &spec, &point)
+    ))
+}
+
+/// Resolves the decoder specification from `--decoder SPEC`, mapping the
+/// deprecated `--batch` / `--hard` / `--bitslice` / `--threshold` flags
+/// onto the equivalent spec (with a note on stderr).
+fn resolve_decoder_spec(args: &ParsedArgs) -> Result<DecoderSpec, Box<dyn Error>> {
+    // Legacy hard-decision flags. `--bitslice` / `--threshold` without
+    // `--hard` stay rejected: a forgotten --hard must not silently run
+    // the soft decoder.
     if args.flag("hard") || args.flag("bitslice") || args.get("threshold").is_some() {
         if !args.flag("hard") {
             return Err(if args.flag("bitslice") {
-                "--bitslice packs the hard-decision decoder; add --hard".into()
+                "--bitslice packs the hard-decision decoder; add --hard \
+                 (or use --decoder gallager-b@bitslice)"
+                    .into()
             } else {
-                "--threshold configures the hard-decision decoder; add --hard".into()
+                "--threshold configures the hard-decision decoder; add --hard \
+                 (or use --decoder gallager-b:t=N)"
+                    .into()
             });
         }
         if args.get("decoder").is_some() {
-            return Err("--hard selects the Gallager-B decoder; drop --decoder".into());
+            return Err("--hard selects the Gallager-B decoder; drop --decoder \
+                        (or use --decoder gallager-b:t=N[@bitslice] alone)"
+                .into());
         }
-        if batch != 1 {
+        if args.get_or("batch", 1usize)? != 1 {
             return Err(
                 "--batch applies to the soft decoders; use --bitslice for 64-wide hard decoding"
                     .into(),
@@ -169,60 +203,100 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
                 value: "0".into(),
             }));
         }
-        let (point, name) = if args.flag("bitslice") {
-            (
-                ldpc_sim::run_point_bitsliced(&code, None, &cfg, threshold),
-                "gb-bitslice",
-            )
-        } else {
-            (
-                run_point(&code, None, &cfg, || {
-                    GallagerBDecoder::new(code.clone(), threshold)
-                }),
-                "gb",
-            )
-        };
-        return Ok(format_simulate_csv(label, name, &point));
-    }
-    // Batched decoding is bit-exact against per-frame decoding, so
-    // --batch only changes wall-clock, never the statistical validity.
-    // Counts are byte-identical to the per-frame run only with
-    // --threads 1 (multi-worker frame partitioning is racy).
-    let point = match (decoder.as_str(), batch) {
-        ("fixed", 1) => run_point(&code, None, &cfg, || {
-            FixedDecoder::new(code.clone(), FixedConfig::default())
-        }),
-        ("fixed", b) => run_point_batched(&code, None, &cfg, || {
-            BatchFixedDecoder::new(code.clone(), FixedConfig::default(), b)
-        }),
-        ("nms", 1) => run_point(&code, None, &cfg, || {
-            MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0))
-        }),
-        ("nms", b) => run_point_batched(&code, None, &cfg, || {
-            BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), b)
-        }),
-        ("spa", 1) => run_point(&code, None, &cfg, || SumProductDecoder::new(code.clone())),
-        ("spa", _) => {
-            return Err(
-                "--batch is not supported with --decoder spa (no batched sum-product); \
-                        use fixed or nms"
-                    .into(),
-            )
+        let mut spec = DecoderSpec::parse(&format!("gallager-b:t={threshold}"))?;
+        if args.flag("bitslice") {
+            spec = spec.with_bitslice()?;
         }
-        (other, _) => {
+        eprintln!("note: --hard/--bitslice/--threshold are deprecated; use --decoder {spec}");
+        return Ok(spec);
+    }
+    let raw: String = args.get_or("decoder", "fixed".to_owned())?;
+    let mut spec = DecoderSpec::parse(&raw)?;
+    // Legacy `--batch N`: map onto @batch=N (N = 1 keeps the scalar
+    // decoder, matching the historical per-frame behaviour bit for bit).
+    let batch: usize = args.get_or("batch", 1usize)?;
+    match batch {
+        0 => {
             return Err(Box::new(ArgError::InvalidValue {
-                option: "decoder".into(),
-                value: other.into(),
+                option: "batch".into(),
+                value: "0".into(),
             }))
         }
-    };
-    Ok(format_simulate_csv(label, &decoder, &point))
+        1 => {}
+        n => {
+            if spec.batch.is_some() || spec.bitslice {
+                return Err(format!(
+                    "--batch {n} conflicts with the modifiers in --decoder {spec}; \
+                     put the batch in the spec"
+                )
+                .into());
+            }
+            spec = spec.with_batch(n)?;
+            eprintln!("note: --batch is deprecated; use --decoder {spec}");
+        }
+    }
+    Ok(spec)
 }
 
-/// The one-point CSV every `simulate` variant prints.
-fn format_simulate_csv(label: &str, decoder: &str, point: &ldpc_sim::PointResult) -> String {
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let (code, label) = code_selection(args);
+    // The legacy simulate decoder flags have no sweep mapping: decoder
+    // choice is exactly the --decoders list. Reject them rather than
+    // silently running a different decoder than the caller asked for.
+    for legacy in ["hard", "bitslice"] {
+        if args.flag(legacy) {
+            return Err(format!("--{legacy} does not apply to sweep; put the decoder in --decoders (e.g. gallager-b:t=N@bitslice)").into());
+        }
+    }
+    for legacy in ["threshold", "batch"] {
+        if args.get(legacy).is_some() {
+            return Err(format!("--{legacy} does not apply to sweep; put it in the --decoders specs (e.g. gallager-b:t=2, nms@batch=8)").into());
+        }
+    }
+    if args.get("decoder").is_some() {
+        return Err("--decoder does not apply to sweep; list the spec in --decoders".into());
+    }
+    let specs: Vec<DecoderSpec> = args
+        .get("decoders")
+        .ok_or("sweep requires --decoders <spec,spec,...> (try `ldpc-tool help`)")?
+        .split(',')
+        .map(|s| DecoderSpec::parse(s).map_err(Box::<dyn Error>::from))
+        .collect::<Result<_, _>>()?;
+    let ebn0s: Vec<f64> = match args.get("ebn0s") {
+        Some(list) => list
+            .split(',')
+            .map(|v| {
+                v.trim().parse().map_err(|_| ArgError::InvalidValue {
+                    option: "ebn0s".into(),
+                    value: v.into(),
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![args.get_or("ebn0", 4.0)?],
+    };
+    let base = mc_config_from_args(args, label)?;
+    let mut out = format!("{CSV_HEADER}\n");
+    for spec in &specs {
+        // One engine, one seed derivation: each spec sweeps the same
+        // Eb/N0 points through ldpc_sim::run_curve_spec, so sweep rows
+        // reproduce simulate / run_curve runs at the same point index.
+        for point in run_curve_spec(&code, None, &ebn0s, &base, spec) {
+            out.push_str(&simulate_csv_row(label, spec, &point));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// The CSV header shared by `simulate` and `sweep`.
+const CSV_HEADER: &str = "code,decoder,ebn0_db,frames,ber,per,avg_iterations";
+
+/// One CSV data row shared by `simulate` and `sweep`: the decoder column
+/// is the canonical spec string, so `nms:1.25` and `nms:1.0` never
+/// collapse into the same label.
+fn simulate_csv_row(label: &str, spec: &DecoderSpec, point: &ldpc_sim::PointResult) -> String {
     format!(
-        "code,decoder,ebn0_db,frames,ber,per,avg_iterations\n{label},{decoder},{:.3},{},{:.6e},{:.6e},{:.2}\n",
+        "{label},{spec},{:.3},{},{:.6e},{:.6e},{:.2}",
         point.ebn0_db,
         point.frames,
         point.ber(),
@@ -307,8 +381,12 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = help_text();
-        for cmd in ["info", "encode", "simulate", "plan", "tables"] {
+        for cmd in ["info", "encode", "simulate", "sweep", "plan", "tables"] {
             assert!(h.contains(cmd), "help missing {cmd}");
+        }
+        // The spec grammar is part of the contract: every family shows up.
+        for family in DecoderSpec::family_names() {
+            assert!(h.contains(family), "help missing family {family}");
         }
     }
 
@@ -365,6 +443,8 @@ mod tests {
         let base = &[
             "simulate",
             "--demo",
+            "--decoder",
+            "fixed",
             "--ebn0",
             "3.0",
             "--frames",
@@ -384,8 +464,14 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,fixed,3.000,64,"));
-        assert_eq!(per_frame, batched);
+            .starts_with("demo,fixed@batch=8,3.000,64,"));
+        // Identical counts; only the decoder label records the packing.
+        assert_eq!(per_frame.replace(",fixed,", ",fixed@batch=8,"), batched);
+        // The modifier spelled directly in the spec is byte-identical.
+        let mut with_spec = base.to_vec();
+        with_spec[3] = "fixed@batch=8"; // replaces the --decoder value
+        let spec_run = run(&parsed(&with_spec)).unwrap();
+        assert_eq!(spec_run, batched);
     }
 
     #[test]
@@ -407,7 +493,7 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,nms,5.000,32,"));
+            .starts_with("demo,nms@batch=4,5.000,32,"));
     }
 
     #[test]
@@ -438,17 +524,24 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,gb,5.000,96,"));
+            .starts_with("demo,gallager-b,5.000,96,"));
         assert!(sliced
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,gb-bitslice,5.000,96,"));
+            .starts_with("demo,gallager-b@bitslice,5.000,96,"));
         assert_eq!(
-            scalar.replace(",gb,", ",gb-bitslice,"),
+            scalar.replace(",gallager-b,", ",gallager-b@bitslice,"),
             sliced,
             "bit-sliced counts diverged from scalar Gallager-B"
         );
+        // The modern spelling of the same runs.
+        let mut spec_scalar = base.to_vec();
+        spec_scalar[2] = "--decoder";
+        spec_scalar.insert(3, "gallager-b:t=3");
+        assert_eq!(run(&parsed(&spec_scalar)).unwrap(), scalar);
+        spec_scalar[3] = "gallager-b:t=3@bitslice";
+        assert_eq!(run(&parsed(&spec_scalar)).unwrap(), sliced);
     }
 
     #[test]
@@ -516,6 +609,150 @@ mod tests {
     fn simulate_rejects_unknown_decoder() {
         let err = run(&parsed(&["simulate", "--demo", "--decoder", "magic"])).unwrap_err();
         assert!(err.to_string().contains("decoder"));
+    }
+
+    #[test]
+    fn simulate_accepts_every_registered_family() {
+        for spec in DecoderSpec::all_families() {
+            let out = run(&parsed(&[
+                "simulate",
+                "--demo",
+                "--decoder",
+                &spec.to_string(),
+                "--frames",
+                "8",
+                "--ebn0",
+                "6.0",
+                "--iters",
+                "5",
+            ]))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(
+                out.lines()
+                    .nth(1)
+                    .unwrap()
+                    .starts_with(&format!("demo,{spec},6.000,8,")),
+                "{spec}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_decoder_label_keeps_parameters() {
+        // nms:1.25 and nms:1.0 must not collapse into the same CSV label.
+        let out = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--decoder",
+            "nms:1.25",
+            "--frames",
+            "8",
+            "--iters",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.lines().nth(1).unwrap().starts_with("demo,nms:1.25,"));
+    }
+
+    #[test]
+    fn sweep_emits_one_csv_across_families_and_points() {
+        let out = run(&parsed(&[
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms:1.25,fixed@batch=8,gallager-b@bitslice",
+            "--ebn0s",
+            "4.0,6.0",
+            "--frames",
+            "16",
+            "--iters",
+            "5",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "code,decoder,ebn0_db,frames,ber,per,avg_iterations"
+        );
+        assert_eq!(lines.len(), 1 + 3 * 2, "one row per (decoder, ebn0)");
+        assert!(lines[1].starts_with("demo,nms:1.25,4.000,16,"));
+        assert!(lines[2].starts_with("demo,nms:1.25,6.000,16,"));
+        assert!(lines[3].starts_with("demo,fixed@batch=8,4.000,16,"));
+        assert!(lines[5].starts_with("demo,gallager-b@bitslice,4.000,16,"));
+    }
+
+    #[test]
+    fn sweep_first_point_matches_simulate_counts() {
+        // Same seed derivation at point index 0: sweep rows reproduce a
+        // plain simulate run exactly.
+        let shared = [
+            "--demo",
+            "--frames",
+            "32",
+            "--iters",
+            "8",
+            "--seed",
+            "5",
+            "--threads",
+            "1",
+        ];
+        let mut sim_args = vec!["simulate", "--decoder", "nms:1.25"];
+        sim_args.extend(shared);
+        let mut sweep_args = vec!["sweep", "--decoders", "nms:1.25"];
+        sweep_args.extend(shared);
+        assert_eq!(
+            run(&parsed(&sim_args)).unwrap(),
+            run(&parsed(&sweep_args)).unwrap()
+        );
+    }
+
+    #[test]
+    fn simulate_and_sweep_reject_zero_frames() {
+        for cmd in [
+            vec!["simulate", "--demo", "--frames", "0"],
+            vec!["sweep", "--demo", "--decoders", "spa", "--frames", "0"],
+        ] {
+            let err = run(&parsed(&cmd)).unwrap_err();
+            assert!(err.to_string().contains("frames"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_legacy_decoder_flags() {
+        // simulate maps these onto specs; sweep must not silently ignore
+        // them and run a different decoder than asked.
+        for (extra, hint) in [
+            (vec!["--hard"], "--decoders"),
+            (vec!["--bitslice"], "--decoders"),
+            (vec!["--threshold", "2"], "gallager-b:t=2"),
+            (vec!["--batch", "8"], "nms@batch=8"),
+            (vec!["--decoder", "nms:1.25"], "--decoders"),
+        ] {
+            let mut cmd = vec!["sweep", "--demo", "--decoders", "gallager-b"];
+            cmd.extend(extra.iter().copied());
+            let err = run(&parsed(&cmd)).unwrap_err();
+            assert!(err.to_string().contains(hint), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_requires_decoders() {
+        let err = run(&parsed(&["sweep", "--demo"])).unwrap_err();
+        assert!(err.to_string().contains("--decoders"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_spec_with_actionable_message() {
+        let err = run(&parsed(&[
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms:1.25,magic",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("known families"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use crate::decoder::kernels::{bn_output, bn_posterior, cn_scan, saturate};
 use crate::decoder::minsum::{alpha_for_iteration, apply_correction, CnScanF32};
-use crate::decoder::{DecodeResult, Decoder, FixedConfig, MinSumConfig, MinSumVariant};
+use crate::decoder::{DecodeResult, Decoder, FixedConfig, MinSumConfig};
 use crate::{LdpcCode, LlrQuantizer};
 use gf2::BitVec;
 use std::sync::Arc;
@@ -58,8 +58,9 @@ pub trait BatchDecoder {
     /// Code length n expected for each frame.
     fn n(&self) -> usize;
 
-    /// Short human-readable name for reports.
-    fn name(&self) -> &'static str;
+    /// Human-readable name for reports, including distinguishing
+    /// parameters and the batch capacity.
+    fn name(&self) -> String;
 }
 
 /// Per-batch bookkeeping shared by the batched decoders: which frames are
@@ -130,6 +131,9 @@ fn drive_batch<E: BatchPhases>(
             break;
         }
         engine.run_phases(iter, frames, &state);
+        // f indexes state, results, and the engine's frame views in
+        // lockstep, so a range loop reads clearer than enumerate here.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..frames {
             if !state.active[f] {
                 continue;
@@ -327,8 +331,8 @@ impl BatchMinSumDecoder {
                     bc_row[f] = total[f] - cb_row[f];
                 }
             }
-            for f in 0..F {
-                self.hard[f * n_bits + n] = u8::from(total[f] < 0.0);
+            for (f, &t) in total.iter().enumerate() {
+                self.hard[f * n_bits + n] = u8::from(t < 0.0);
             }
         }
     }
@@ -403,7 +407,7 @@ impl BatchDecoder for BatchMinSumDecoder {
         let graph = code.graph();
         let n = graph.n_bits();
         assert!(
-            !llrs.is_empty() && llrs.len() % n == 0,
+            !llrs.is_empty() && llrs.len().is_multiple_of(n),
             "LLR length must be a positive multiple of the code length"
         );
         let frames = llrs.len() / n;
@@ -434,12 +438,12 @@ impl BatchDecoder for BatchMinSumDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        match self.config.variant {
-            MinSumVariant::Plain => "batched min-sum",
-            MinSumVariant::Normalized { .. } => "batched normalized min-sum",
-            MinSumVariant::Offset { .. } => "batched offset min-sum",
-        }
+    fn name(&self) -> String {
+        format!(
+            "batched {} (batch {})",
+            crate::decoder::minsum::variant_name(&self.config),
+            self.capacity
+        )
     }
 }
 
@@ -536,7 +540,7 @@ impl BatchFixedDecoder {
         let graph = code.graph();
         let n = graph.n_bits();
         assert!(
-            !channel.is_empty() && channel.len() % n == 0,
+            !channel.is_empty() && channel.len().is_multiple_of(n),
             "channel length must be a positive multiple of the code length"
         );
         let frames = channel.len() / n;
@@ -743,7 +747,7 @@ impl BatchDecoder for BatchFixedDecoder {
     fn decode_batch(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<DecodeResult> {
         let n = self.code.n();
         assert!(
-            !llrs.is_empty() && llrs.len() % n == 0,
+            !llrs.is_empty() && llrs.len().is_multiple_of(n),
             "LLR length must be a positive multiple of the code length"
         );
         let quantized = self.quantizer.quantize_slice(llrs);
@@ -758,8 +762,11 @@ impl BatchDecoder for BatchFixedDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "batched fixed-point normalized min-sum"
+    fn name(&self) -> String {
+        format!(
+            "batched fixed-point normalized min-sum (batch {})",
+            self.capacity
+        )
     }
 }
 
@@ -777,7 +784,7 @@ pub fn decode_frames<D: Decoder>(
 ) -> Vec<DecodeResult> {
     let n = decoder.n();
     assert!(
-        !llrs.is_empty() && llrs.len() % n == 0,
+        !llrs.is_empty() && llrs.len().is_multiple_of(n),
         "LLR length must be a positive multiple of the code length"
     );
     llrs.chunks_exact(n)

@@ -176,8 +176,8 @@ impl Decoder for GallagerBDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "gallager-b"
+    fn name(&self) -> String {
+        format!("gallager-b (t={})", self.flip_threshold)
     }
 }
 
@@ -302,8 +302,8 @@ impl Decoder for WeightedBitFlipDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "weighted bit-flip"
+    fn name(&self) -> String {
+        "weighted bit-flip".to_owned()
     }
 }
 

@@ -309,7 +309,7 @@ impl BatchDecoder for BitsliceGallagerBDecoder {
     fn decode_batch(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<DecodeResult> {
         let n = self.code.n();
         assert!(
-            !llrs.is_empty() && llrs.len() % n == 0,
+            !llrs.is_empty() && llrs.len().is_multiple_of(n),
             "LLR length must be a positive multiple of the code length"
         );
         let frames = llrs.len() / n;
@@ -337,8 +337,8 @@ impl BatchDecoder for BitsliceGallagerBDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "bitsliced gallager-b"
+    fn name(&self) -> String {
+        format!("bitsliced gallager-b (t={})", self.flip_threshold)
     }
 }
 
@@ -389,9 +389,9 @@ mod tests {
         }
         let orig = a;
         transpose64(&mut a);
-        for i in 0..64 {
-            for f in 0..64 {
-                assert_eq!((a[f] >> i) & 1, (orig[i] >> f) & 1, "({i},{f})");
+        for (i, &orig_row) in orig.iter().enumerate() {
+            for (f, &row) in a.iter().enumerate() {
+                assert_eq!((row >> i) & 1, (orig_row >> f) & 1, "({i},{f})");
             }
         }
         transpose64(&mut a);

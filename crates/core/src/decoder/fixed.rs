@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 /// Quantization and scaling parameters of the fixed-point datapath.
 ///
-/// Defaults match the architecture sized in DESIGN.md §5.4: 6-bit
+/// Defaults match the architecture sized in DESIGN.md §6.4: 6-bit
 /// edge messages, 5-bit channel LLRs at 0.5 LLR per level, and the ×0.75
 /// shift-add normalization (α = 4/3) of the paper's §5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -362,8 +362,13 @@ impl Decoder for FixedDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "fixed-point normalized min-sum"
+    fn name(&self) -> String {
+        format!(
+            "fixed-point normalized min-sum ({}b msg, {}b ch, x{})",
+            self.config.q_msg,
+            self.config.q_ch,
+            self.config.scaling.factor()
+        )
     }
 }
 

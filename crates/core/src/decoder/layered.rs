@@ -147,8 +147,8 @@ impl Decoder for LayeredMinSumDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "layered normalized min-sum"
+    fn name(&self) -> String {
+        format!("layered normalized min-sum (alpha={})", self.alpha)
     }
 }
 

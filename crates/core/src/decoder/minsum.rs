@@ -97,6 +97,23 @@ impl MinSumConfig {
     }
 }
 
+/// Report name of a min-sum configuration, parameters included — shared
+/// by [`MinSumDecoder`] and [`BatchMinSumDecoder`](crate::BatchMinSumDecoder)
+/// so the per-frame and batched mirrors agree on what they are called.
+pub(crate) fn variant_name(config: &MinSumConfig) -> String {
+    match config.variant {
+        MinSumVariant::Plain => "min-sum".to_owned(),
+        MinSumVariant::Normalized { alpha } => match &config.alpha_schedule {
+            Some(schedule) => format!(
+                "normalized min-sum (scheduled alpha, {} steps)",
+                schedule.len()
+            ),
+            None => format!("normalized min-sum (alpha={alpha})"),
+        },
+        MinSumVariant::Offset { beta } => format!("offset min-sum (beta={beta})"),
+    }
+}
+
 /// Effective α of `config` for a 0-based iteration index: the schedule
 /// entry (last value holding past the end) or the constant α. The single
 /// definition shared by [`MinSumDecoder`] and
@@ -306,12 +323,8 @@ impl Decoder for MinSumDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        match self.config.variant {
-            MinSumVariant::Plain => "min-sum",
-            MinSumVariant::Normalized { .. } => "normalized min-sum",
-            MinSumVariant::Offset { .. } => "offset min-sum",
-        }
+    fn name(&self) -> String {
+        variant_name(&self.config)
     }
 }
 
@@ -327,13 +340,15 @@ mod tests {
             MinSumDecoder::new(code.clone(), MinSumConfig::plain()).name(),
             "min-sum"
         );
+        // Parameters are part of the name, so reports never conflate two
+        // configurations of the same variant.
         assert_eq!(
             MinSumDecoder::new(code.clone(), MinSumConfig::normalized(1.5)).name(),
-            "normalized min-sum"
+            "normalized min-sum (alpha=1.5)"
         );
         assert_eq!(
             MinSumDecoder::new(code, MinSumConfig::offset(0.1)).name(),
-            "offset min-sum"
+            "offset min-sum (beta=0.1)"
         );
     }
 

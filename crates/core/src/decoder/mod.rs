@@ -14,28 +14,40 @@
 //! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
 //! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
 //! | [`BitsliceGallagerBDecoder`] | boolean planes, ×64 frames | majority vote via carry-save counters | frames-per-word at the hard-decision limit |
+//!
+//! Every family is also reachable declaratively: [`DecoderSpec`] parses a
+//! spec string (`nms:1.25@batch=8`, `gallager-b@bitslice`, …) and builds
+//! the decoder behind the object-safe [`BlockDecoder`] front door — the
+//! registry the simulator, CLI, conformance suite, and benches all drive.
 
 mod alpha;
 mod batch;
 mod bitflip;
 mod bitslice;
+mod block;
 mod fixed;
 pub mod kernels;
 mod layered;
 mod minsum;
 mod selfcorrect;
 mod spa;
+mod spec;
 
 pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
 pub use batch::{decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder};
 pub use bitflip::{GallagerBDecoder, WeightedBitFlipDecoder};
 pub use bitslice::BitsliceGallagerBDecoder;
+pub use block::{Batched, BlockDecoder, PerFrame};
 pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
 pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;
 pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
 pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use spa::SumProductDecoder;
+pub use spec::{
+    DecoderFamily, DecoderSpec, SpecError, DEFAULT_ALPHA, DEFAULT_BATCH, DEFAULT_BETA,
+    DEFAULT_GALLAGER_THRESHOLD,
+};
 
 use gf2::BitVec;
 
@@ -74,8 +86,11 @@ pub trait Decoder {
     /// Code length n this decoder expects.
     fn n(&self) -> usize;
 
-    /// Short human-readable name for reports ("sum-product", …).
-    fn name(&self) -> &'static str;
+    /// Human-readable name for reports, including the parameters that
+    /// distinguish one configuration from another ("normalized min-sum
+    /// (alpha=1.25)", …) — so a report never conflates `nms:1.25` with
+    /// `nms:1.0`.
+    fn name(&self) -> String;
 }
 
 #[cfg(test)]

@@ -169,8 +169,8 @@ impl Decoder for SelfCorrectedMinSumDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "self-corrected min-sum"
+    fn name(&self) -> String {
+        format!("self-corrected min-sum (alpha={})", self.alpha)
     }
 }
 

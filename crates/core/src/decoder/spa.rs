@@ -159,8 +159,8 @@ impl Decoder for SumProductDecoder {
         self.code.n()
     }
 
-    fn name(&self) -> &'static str {
-        "sum-product"
+    fn name(&self) -> String {
+        "sum-product".to_owned()
     }
 }
 

@@ -50,10 +50,11 @@ mod code;
 
 pub use code::LdpcCode;
 pub use decoder::{
-    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
-    DecodeResult, DecodeTrace, Decoder, FixedConfig, FixedDecoder, GallagerBDecoder,
-    IterationStats, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, MinSumVariant, Scaling,
-    SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
+    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Batched,
+    BitsliceGallagerBDecoder, BlockDecoder, DecodeResult, DecodeTrace, Decoder, DecoderFamily,
+    DecoderSpec, FixedConfig, FixedDecoder, GallagerBDecoder, IterationStats, LayeredMinSumDecoder,
+    MinSumConfig, MinSumDecoder, MinSumVariant, PerFrame, Scaling, SelfCorrectedMinSumDecoder,
+    SpecError, SumProductDecoder, WeightedBitFlipDecoder,
 };
 pub use encoder::Encoder;
 pub use error::{CodeError, EncodeError};

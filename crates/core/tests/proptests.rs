@@ -5,8 +5,8 @@ use ldpc_core::codes::small::{demo_code, random_c2_like};
 use ldpc_core::decoder::kernels::{cn_scan, Scaling};
 use ldpc_core::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
-    Decoder, Encoder, FixedConfig, FixedDecoder, GallagerBDecoder, LlrQuantizer, MinSumConfig,
-    MinSumDecoder, SumProductDecoder,
+    Decoder, DecoderSpec, Encoder, FixedConfig, FixedDecoder, GallagerBDecoder, LlrQuantizer,
+    MinSumConfig, MinSumDecoder, SpecError, SumProductDecoder,
 };
 use proptest::prelude::*;
 
@@ -254,5 +254,75 @@ proptest! {
             a.decode_hard_slices(&slices, 12),
             b.decode_batch(&llrs, 12)
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The spec grammar round trips: for every family and random valid
+    /// parameters (with and without execution modifiers),
+    /// `parse(display(spec)) == spec`. Rust's shortest-round-trip float
+    /// formatting makes this exact even for awkward alphas like 4/3.
+    #[test]
+    fn decoder_spec_roundtrips(
+        family_idx in 0usize..DecoderSpec::family_names().len(),
+        alpha in 1.0f32..4.0,
+        beta in 0.0f32..2.0,
+        threshold in 1usize..9,
+        batch in 1usize..65,
+        modified in any::<bool>(),
+        explicit_param in any::<bool>(),
+    ) {
+        let name = DecoderSpec::family_names()[family_idx];
+        let head = if explicit_param {
+            match name {
+                "nms" | "layered" | "self-corrected" => format!("{name}:{alpha}"),
+                "oms" => format!("oms:{beta}"),
+                "gallager-b" => format!("gallager-b:t={threshold}"),
+                other => other.to_string(),
+            }
+        } else {
+            name.to_string()
+        };
+        let mut spec = DecoderSpec::parse(&head).unwrap();
+        if modified {
+            if spec.family.supports_batch() {
+                spec = spec.with_batch(batch).unwrap();
+            } else if spec.family.supports_bitslice() {
+                spec = spec.with_bitslice().unwrap();
+            }
+        }
+        let rendered = spec.to_string();
+        let reparsed = DecoderSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(&reparsed, &spec, "{} did not round trip", rendered);
+        // Display is canonical: rendering the reparsed spec is a fixpoint.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Unknown or malformed specs never panic and always explain
+    /// themselves: the error names the offender and what is valid.
+    #[test]
+    fn malformed_specs_error_actionably(
+        family_idx in 0usize..DecoderSpec::family_names().len(),
+        junk_idx in 0usize..6,
+    ) {
+        let name = DecoderSpec::family_names()[family_idx];
+        let junk = ["zz", "-1", "@", ":", "t=", "1..5"][junk_idx];
+        // A bad parameter...
+        let err = DecoderSpec::parse(&format!("{name}:{junk}:{junk}"))
+            .expect_err("malformed spec accepted");
+        prop_assert!(!err.to_string().is_empty());
+        // ...and an unknown family always lists the registered ones.
+        let err = DecoderSpec::parse(&format!("{junk}{name}")).unwrap_err();
+        match err {
+            SpecError::UnknownFamily(_) => {
+                prop_assert!(err.to_string().contains("known families"));
+            }
+            // e.g. "-1ms" parses as unknown family too; anything else
+            // (like an alias prefix forming a valid name) must build.
+            other => prop_assert!(!other.to_string().is_empty()),
+        }
     }
 }

@@ -251,7 +251,7 @@ mod tests {
         let mut reference = FixedDecoder::new(code.clone(), cfg.fixed);
         for seed in 0..10u64 {
             let frame = random_frame(seed, code.n());
-            let sim_out = sim.decode(&[frame.clone()], 12);
+            let sim_out = sim.decode(std::slice::from_ref(&frame), 12);
             let ref_out = reference.decode_quantized(&frame, 12);
             assert_eq!(
                 sim_out.results[0], ref_out,
@@ -317,8 +317,8 @@ mod tests {
             code.clone(),
         );
         let frame = vec![3i16; code.n()];
-        let d = direct.decode(&[frame.clone()], 4);
-        let c = compressed.decode(&[frame.clone()], 4);
+        let d = direct.decode(std::slice::from_ref(&frame), 4);
+        let c = compressed.decode(std::slice::from_ref(&frame), 4);
         assert!(c.memory_writes < d.memory_writes);
         // Identical decoded bits regardless of storage strategy.
         assert_eq!(c.results, d.results);
@@ -333,7 +333,7 @@ mod tests {
             ..base.clone()
         };
         let frame = vec![2i16; code.n()];
-        let a = ArchSimulator::new(base, code.clone()).decode(&[frame.clone()], 3);
+        let a = ArchSimulator::new(base, code.clone()).decode(std::slice::from_ref(&frame), 3);
         let b = ArchSimulator::new(no_overlap, code.clone()).decode(&[frame], 3);
         assert!(b.cycles > a.cycles);
     }

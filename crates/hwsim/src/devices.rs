@@ -125,7 +125,7 @@ mod tests {
     fn database_is_sane() {
         for d in devices() {
             assert!(d.logic_cells > 0);
-            assert!(d.memory_bits > d.logic_cells as u64);
+            assert!(d.memory_bits > d.logic_cells);
         }
         assert_eq!(CYCLONE_II_EP2C50.memory_bits, 594_432);
         assert_eq!(STRATIX_II_EP2S180.logic_cells, 143_520);

@@ -62,7 +62,7 @@ proptest! {
                 ((x >> 32) % 31) as i16 - 15
             })
             .collect();
-        let sim_out = sim.decode(&[frame.clone()], 6);
+        let sim_out = sim.decode(std::slice::from_ref(&frame), 6);
         let ref_out = reference.decode_quantized(&frame, 6);
         prop_assert_eq!(&sim_out.results[0], &ref_out);
     }

@@ -7,8 +7,8 @@
 //! crosses a target PER by bisection on the (monotone) PER-vs-Eb/N0
 //! characteristic, and [`gain_db`] subtracts two such thresholds.
 
-use crate::{run_point, MonteCarloConfig, PointResult};
-use ldpc_core::{Decoder, Encoder, LdpcCode};
+use crate::{run_point_blocks, MonteCarloConfig, PointResult};
+use ldpc_core::{Decoder, Encoder, LdpcCode, PerFrame};
 use std::sync::Arc;
 
 /// Result of a threshold search.
@@ -67,7 +67,7 @@ where
             seed: cfg.seed.wrapping_add(u64::from(step) * 0x9E37),
             ..cfg.clone()
         };
-        let point = run_point(code, encoder, &point_cfg, &factory);
+        let point = run_point_blocks(code, encoder, &point_cfg, || PerFrame::new(factory()));
         let per = point.per();
         probes.push(point);
         if per > target_per {

@@ -2,26 +2,33 @@
 //!
 //! The paper evaluates its decoder by simulating frames over a BPSK/AWGN
 //! channel and counting bit and packet (frame) errors versus Eb/N0. This
-//! crate is that harness:
+//! crate is that harness — **one engine**, several doors:
 //!
 //! * [`MonteCarloConfig`] — one operating point: Eb/N0, iteration budget,
 //!   stopping rules, seeding, thread count;
-//! * [`run_point`] — simulate one point with any [`Decoder`] factory,
-//!   spreading frames across threads with deterministic per-thread noise
-//!   streams;
-//! * [`run_point_batched`] — the same statistics with a frame-batched
-//!   decoder ([`BatchDecoder`]): each worker generates and decodes frames
-//!   in blocks, mirroring the architecture's frames-per-word packing;
-//! * [`run_curve`] — sweep a list of Eb/N0 points (Figure 4's x-axis);
+//! * [`run_point_spec`] — the declarative front door: simulate one point
+//!   with any decoder named by a [`DecoderSpec`]
+//!   (`"nms:1.25@batch=8"`, `"gallager-b@bitslice"`, …);
+//! * [`run_point_blocks`] — the same engine with an explicit
+//!   [`BlockDecoder`] factory, for configurations the spec grammar does
+//!   not cover (alpha schedules, custom quantization);
+//! * [`run_curve_spec`] / [`run_curve_blocks`] — sweep a list of Eb/N0
+//!   points (Figure 4's x-axis);
 //! * [`PointResult`] — error counts with BER/PER accessors and Wilson
 //!   confidence intervals; [`to_csv`] renders a sweep for plotting.
+//!
+//! The historical per-API entry points [`run_point`],
+//! [`run_point_batched`], [`run_point_bitsliced`], and [`run_curve`]
+//! remain as thin deprecated shims over the same engine; their counts
+//! are bit-identical to the corresponding spec-driven runs (pinned by
+//! tests).
 //!
 //! # Example
 //!
 //! ```
 //! use ldpc_core::codes::small::demo_code;
-//! use ldpc_core::{MinSumConfig, MinSumDecoder};
-//! use ldpc_sim::{run_point, MonteCarloConfig, Transmission};
+//! use ldpc_core::DecoderSpec;
+//! use ldpc_sim::{run_point_spec, MonteCarloConfig, Transmission};
 //!
 //! let code = demo_code();
 //! let cfg = MonteCarloConfig {
@@ -33,11 +40,11 @@
 //!     threads: 2,
 //!     transmission: Transmission::AllZero,
 //! };
-//! let point = run_point(&code, None, &cfg, || {
-//!     MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-//! });
+//! let spec = DecoderSpec::parse("nms:1.25@batch=8")?;
+//! let point = run_point_spec(&code, None, &cfg, &spec);
 //! assert!(point.frames > 0);
 //! assert!(point.ber() <= 1.0);
+//! # Ok::<(), ldpc_core::SpecError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,7 +56,9 @@ pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
 
 use gf2::BitVec;
 use ldpc_channel::{bpsk_modulate, ebn0_to_sigma, AwgnChannel};
-use ldpc_core::{BatchDecoder, Decoder, Encoder, LdpcCode};
+use ldpc_core::{
+    BatchDecoder, Batched, BlockDecoder, Decoder, DecoderSpec, Encoder, LdpcCode, PerFrame,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -183,20 +192,53 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     ((centre - half).max(0.0), (centre + half).min(1.0))
 }
 
+/// Simulates one Eb/N0 point with any decoder named by a
+/// [`DecoderSpec`] — the declarative front door of the engine.
+///
+/// One decoder is built per worker thread via
+/// [`DecoderSpec::build`]. The engine claims frames in blocks of the
+/// decoder's preferred granularity
+/// ([`BlockDecoder::block_frames`]): 1 for scalar families, the batch
+/// capacity for `@batch=N`, 64 for `@bitslice`. Because the packed
+/// mirrors are bit-exact against their scalar references, a
+/// single-threaded run with `target_frame_errors == 0` produces counts
+/// that depend only on the family, not on the packing (pinned by tests).
+///
+/// For [`Transmission::Random`] an encoder is required; with
+/// [`Transmission::AllZero`] pass `None`. Information-bit errors are
+/// counted over the encoder's systematic information positions when an
+/// encoder is given, or over all code bits otherwise.
+///
+/// # Panics
+///
+/// Panics if `max_frames == 0`, if `Transmission::Random` is requested
+/// without an encoder, or if the spec is invalid (a parsed spec never
+/// is).
+pub fn run_point_spec(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    cfg: &MonteCarloConfig,
+    spec: &DecoderSpec,
+) -> PointResult {
+    run_point_blocks(code, encoder, cfg, || spec.build(code))
+}
+
 /// Simulates one Eb/N0 point, spreading frames over worker threads.
 ///
-/// `factory` builds one decoder per worker (decoders are stateful
-/// workspaces and not shared). For [`Transmission::Random`] an encoder is
-/// required; with [`Transmission::AllZero`] pass `None`.
-///
-/// Information-bit errors are counted over the encoder's systematic
-/// information positions when an encoder is given, or over all code bits
-/// otherwise.
+/// Thin deprecated shim over [`run_point_blocks`] with a per-frame
+/// [`PerFrame`] adapter: counts are bit-identical to the historical
+/// per-frame engine (block size 1). Prefer [`run_point_spec`] for
+/// registered families or [`run_point_blocks`] for custom
+/// configurations.
 ///
 /// # Panics
 ///
 /// Panics if `max_frames == 0`, or if `Transmission::Random` is requested
 /// without an encoder.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_point_spec (declarative) or run_point_blocks (explicit factory)"
+)]
 pub fn run_point<F, D>(
     code: &Arc<LdpcCode>,
     encoder: Option<&Arc<Encoder>>,
@@ -207,51 +249,27 @@ where
     F: Fn() -> D + Sync,
     D: Decoder,
 {
-    run_point_impl(code, encoder, cfg, || PerFrameBlocks(factory()))
+    run_point_blocks(code, encoder, cfg, || PerFrame::new(factory()))
 }
 
-/// Internal view of a decoder as a block processor: the Monte-Carlo
-/// engine claims `block()` frames at a time and decodes them with one
-/// `decode_all` call. A per-frame [`Decoder`] is the `block() == 1` case,
-/// which makes [`run_point`] and [`run_point_batched`] the same engine —
-/// one worker skeleton, one seed derivation, one error-counting path.
-trait BlockDecoder {
-    /// Frames claimed and decoded per engine step.
-    fn block(&self) -> u64;
-
-    /// Decodes `llrs.len() / n` back-to-back frames.
-    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult>;
-}
-
-struct PerFrameBlocks<D: Decoder>(D);
-
-impl<D: Decoder> BlockDecoder for PerFrameBlocks<D> {
-    fn block(&self) -> u64 {
-        1
-    }
-
-    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult> {
-        vec![self.0.decode(llrs, max_iterations)]
-    }
-}
-
-struct BatchBlocks<D: BatchDecoder>(D);
-
-impl<D: BatchDecoder> BlockDecoder for BatchBlocks<D> {
-    fn block(&self) -> u64 {
-        self.0.capacity() as u64
-    }
-
-    fn decode_all(&mut self, llrs: &[f32], max_iterations: u32) -> Vec<ldpc_core::DecodeResult> {
-        self.0.decode_batch(llrs, max_iterations)
-    }
-}
-
-/// The shared Monte-Carlo engine behind [`run_point`] and
-/// [`run_point_batched`]: workers claim `block()` frames at a time from a
+/// The one Monte-Carlo engine: workers claim
+/// [`block_frames`](BlockDecoder::block_frames) frames at a time from a
 /// shared counter, generate them from deterministic per-worker noise
-/// streams, decode, and accumulate error counts.
-fn run_point_impl<F, B>(
+/// streams, decode through the object-safe [`BlockDecoder`] front door,
+/// and accumulate error counts.
+///
+/// `factory` builds one decoder per worker (decoders are stateful
+/// workspaces and not shared); use [`PerFrame`] / [`Batched`] to adapt
+/// per-frame and batch decoders that are not registry-built. Every other
+/// `run_point*` entry is a thin wrapper over this function, so seed
+/// derivation and error counting are identical by construction across
+/// all of them.
+///
+/// # Panics
+///
+/// Panics if `max_frames == 0`, or if `Transmission::Random` is requested
+/// without an encoder.
+pub fn run_point_blocks<F, B>(
     code: &Arc<LdpcCode>,
     encoder: Option<&Arc<Encoder>>,
     cfg: &MonteCarloConfig,
@@ -300,7 +318,7 @@ where
             let cfg = cfg.clone();
             scope.spawn(move || {
                 let mut decoder = factory();
-                let block = decoder.block();
+                let block = decoder.block_frames() as u64;
                 assert!(block > 0, "decoder claims zero frames per block");
                 let n = code.n();
                 // Disjoint deterministic streams per worker.
@@ -341,7 +359,7 @@ where
                         llrs.extend(channel.llrs(&symbols));
                         codewords.push(codeword);
                     }
-                    let results = decoder.decode_all(&llrs, cfg.max_iterations);
+                    let results = decoder.decode_block(&llrs, cfg.max_iterations);
                     for (out, codeword) in results.iter().zip(&codewords) {
                         total_iterations.fetch_add(u64::from(out.iterations), Ordering::Relaxed);
                         let mut errors_this_frame = 0u64;
@@ -404,6 +422,10 @@ where
 ///
 /// Panics if `max_frames == 0`, or if [`Transmission::Random`] is
 /// requested without an encoder.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_point_spec with @batch=N or run_point_blocks with a Batched adapter"
+)]
 pub fn run_point_batched<F, D>(
     code: &Arc<LdpcCode>,
     encoder: Option<&Arc<Encoder>>,
@@ -414,7 +436,7 @@ where
     F: Fn() -> D + Sync,
     D: BatchDecoder,
 {
-    run_point_impl(code, encoder, cfg, || BatchBlocks(factory()))
+    run_point_blocks(code, encoder, cfg, || Batched::new(factory()))
 }
 
 /// Simulates one Eb/N0 point with the bit-sliced hard-decision decoder:
@@ -437,24 +459,79 @@ where
 ///
 /// Panics if `max_frames == 0`, if [`Transmission::Random`] is requested
 /// without an encoder, or if `flip_threshold` is zero.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_point_spec with gallager-b:t=N@bitslice"
+)]
 pub fn run_point_bitsliced(
     code: &Arc<LdpcCode>,
     encoder: Option<&Arc<Encoder>>,
     cfg: &MonteCarloConfig,
     flip_threshold: usize,
 ) -> PointResult {
-    run_point_impl(code, encoder, cfg, || {
-        BatchBlocks(ldpc_core::BitsliceGallagerBDecoder::new(
+    run_point_blocks(code, encoder, cfg, || {
+        Batched::new(ldpc_core::BitsliceGallagerBDecoder::new(
             Arc::clone(code),
             flip_threshold,
         ))
     })
 }
 
-/// Sweeps a list of Eb/N0 points (the x-axis of the paper's Figure 4).
+/// Sweeps a list of Eb/N0 points (the x-axis of the paper's Figure 4)
+/// with any [`BlockDecoder`] factory.
 ///
 /// Each point reuses `base` with its `ebn0_db` replaced and the seed
 /// offset by the point index, so points are independent but reproducible.
+/// Wrap per-frame decoders in [`PerFrame`] (batch decoders in
+/// [`Batched`]), or use [`run_curve_spec`] for registered families.
+pub fn run_curve_blocks<F, B>(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    ebn0_points: &[f64],
+    base: &MonteCarloConfig,
+    factory: F,
+) -> Vec<PointResult>
+where
+    F: Fn() -> B + Sync,
+    B: BlockDecoder,
+{
+    ebn0_points
+        .iter()
+        .enumerate()
+        .map(|(i, &ebn0_db)| {
+            let cfg = MonteCarloConfig {
+                ebn0_db,
+                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
+                ..base.clone()
+            };
+            run_point_blocks(code, encoder, &cfg, &factory)
+        })
+        .collect()
+}
+
+/// Sweeps a list of Eb/N0 points with a [`DecoderSpec`]-named decoder —
+/// the declarative counterpart of [`run_curve_blocks`], with the same
+/// per-point seed derivation.
+pub fn run_curve_spec(
+    code: &Arc<LdpcCode>,
+    encoder: Option<&Arc<Encoder>>,
+    ebn0_points: &[f64],
+    base: &MonteCarloConfig,
+    spec: &DecoderSpec,
+) -> Vec<PointResult> {
+    run_curve_blocks(code, encoder, ebn0_points, base, || spec.build(code))
+}
+
+/// Sweeps a list of Eb/N0 points with a per-frame [`Decoder`] factory.
+///
+/// Thin deprecated shim over [`run_curve_blocks`] with a [`PerFrame`]
+/// adapter — the same migration story as [`run_point`]: old call sites
+/// keep compiling (with a deprecation note) and produce bit-identical
+/// results.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_curve_spec (declarative) or run_curve_blocks (explicit factory)"
+)]
 pub fn run_curve<F, D>(
     code: &Arc<LdpcCode>,
     encoder: Option<&Arc<Encoder>>,
@@ -466,18 +543,13 @@ where
     F: Fn() -> D + Sync,
     D: Decoder,
 {
-    ebn0_points
-        .iter()
-        .enumerate()
-        .map(|(i, &ebn0_db)| {
-            let cfg = MonteCarloConfig {
-                ebn0_db,
-                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
-                ..base.clone()
-            };
-            run_point(code, encoder, &cfg, &factory)
-        })
-        .collect()
+    run_curve_blocks(
+        code,
+        encoder,
+        ebn0_points,
+        base,
+        || PerFrame::new(factory()),
+    )
 }
 
 /// Renders a sweep as CSV with header
@@ -516,12 +588,14 @@ mod tests {
         }
     }
 
+    fn spec(s: &str) -> DecoderSpec {
+        DecoderSpec::parse(s).unwrap()
+    }
+
     #[test]
     fn high_snr_is_nearly_error_free() {
         let code = demo_code();
-        let point = run_point(&code, None, &quick_cfg(10.0), || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let point = run_point_spec(&code, None, &quick_cfg(10.0), &spec("nms:1.25"));
         assert_eq!(point.frames, 300);
         assert_eq!(point.frame_errors, 0, "per={}", point.per());
     }
@@ -529,9 +603,7 @@ mod tests {
     #[test]
     fn low_snr_produces_errors() {
         let code = demo_code();
-        let point = run_point(&code, None, &quick_cfg(-2.0), || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let point = run_point_spec(&code, None, &quick_cfg(-2.0), &spec("nms:1.25"));
         assert!(point.frame_errors > 0);
         assert!(point.ber() > 0.0);
         assert!(point.per() >= point.ber());
@@ -540,9 +612,13 @@ mod tests {
     #[test]
     fn ber_decreases_with_snr() {
         let code = demo_code();
-        let points = run_curve(&code, None, &[0.0, 3.0, 6.0], &quick_cfg(0.0), || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let points = run_curve_spec(
+            &code,
+            None,
+            &[0.0, 3.0, 6.0],
+            &quick_cfg(0.0),
+            &spec("nms:1.25"),
+        );
         assert_eq!(points.len(), 3);
         assert!(
             points[0].ber() > points[2].ber(),
@@ -560,9 +636,7 @@ mod tests {
             target_frame_errors: 5,
             ..quick_cfg(-3.0)
         };
-        let point = run_point(&code, None, &cfg, || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let point = run_point_spec(&code, None, &cfg, &spec("nms:1.25"));
         assert!(point.frame_errors >= 5);
         assert!(point.frames < 100_000);
     }
@@ -573,13 +647,9 @@ mod tests {
         let enc = Arc::new(Encoder::new(&code).unwrap());
         let mut cfg = quick_cfg(2.5);
         cfg.max_frames = 400;
-        let zero = run_point(&code, Some(&enc), &cfg, || {
-            FixedDecoder::new(demo_code(), FixedConfig::default())
-        });
+        let zero = run_point_spec(&code, Some(&enc), &cfg, &spec("fixed"));
         cfg.transmission = Transmission::Random;
-        let random = run_point(&code, Some(&enc), &cfg, || {
-            FixedDecoder::new(demo_code(), FixedConfig::default())
-        });
+        let random = run_point_spec(&code, Some(&enc), &cfg, &spec("fixed"));
         // Linear code + symmetric channel: the two BERs agree statistically.
         let (lo, hi) = zero.per_confidence();
         let margin = 0.12;
@@ -598,21 +668,15 @@ mod tests {
             threads: 1,
             ..quick_cfg(1.0)
         };
-        let a = run_point(&code, None, &cfg, || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
-        let b = run_point(&code, None, &cfg, || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let a = run_point_spec(&code, None, &cfg, &spec("nms:1.25"));
+        let b = run_point_spec(&code, None, &cfg, &spec("nms:1.25"));
         assert_eq!(a, b);
     }
 
     #[test]
     fn csv_has_header_and_rows() {
         let code = demo_code();
-        let points = run_curve(&code, None, &[5.0], &quick_cfg(5.0), || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let points = run_curve_spec(&code, None, &[5.0], &quick_cfg(5.0), &spec("nms:1.25"));
         let csv = to_csv(&points);
         assert!(csv.starts_with("ebn0_db,frames"));
         assert_eq!(csv.lines().count(), 2);
@@ -636,22 +700,18 @@ mod tests {
 
     #[test]
     fn batched_point_matches_per_frame_exactly_single_thread() {
+        // The engine claims block_frames() frames per step; bit-exact
+        // batched decoding then makes counts independent of the packing.
         let code = demo_code();
         let cfg = MonteCarloConfig {
             threads: 1,
             ..quick_cfg(2.0)
         };
-        let per_frame = run_point(&code, None, &cfg, || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-        });
+        // Default alpha is the hardware's 4/3.
+        let per_frame = run_point_spec(&code, None, &cfg, &spec("nms"));
         for batch in [1usize, 4, 8] {
-            let batched = run_point_batched(&code, None, &cfg, || {
-                ldpc_core::BatchMinSumDecoder::new(
-                    demo_code(),
-                    MinSumConfig::normalized(4.0 / 3.0),
-                    batch,
-                )
-            });
+            let batched =
+                run_point_spec(&code, None, &cfg, &spec("nms").with_batch(batch).unwrap());
             assert_eq!(batched, per_frame, "batch={batch}");
         }
     }
@@ -663,12 +723,8 @@ mod tests {
             threads: 1,
             ..quick_cfg(2.5)
         };
-        let per_frame = run_point(&code, None, &cfg, || {
-            FixedDecoder::new(demo_code(), FixedConfig::default())
-        });
-        let batched = run_point_batched(&code, None, &cfg, || {
-            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
-        });
+        let per_frame = run_point_spec(&code, None, &cfg, &spec("fixed"));
+        let batched = run_point_spec(&code, None, &cfg, &spec("fixed@batch=8"));
         assert_eq!(batched, per_frame);
     }
 
@@ -681,9 +737,7 @@ mod tests {
             threads: 1,
             ..quick_cfg(6.0)
         };
-        let point = run_point_batched(&code, None, &cfg, || {
-            ldpc_core::BatchMinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25), 4)
-        });
+        let point = run_point_spec(&code, None, &cfg, &spec("nms:1.25@batch=4"));
         assert_eq!(point.frames, 10);
     }
 
@@ -695,9 +749,7 @@ mod tests {
             threads: 3,
             ..quick_cfg(3.0)
         };
-        let point = run_point_batched(&code, None, &cfg, || {
-            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
-        });
+        let point = run_point_spec(&code, None, &cfg, &spec("fixed@batch=8"));
         assert_eq!(point.frames, 100);
     }
 
@@ -709,9 +761,7 @@ mod tests {
             target_frame_errors: 5,
             ..quick_cfg(-3.0)
         };
-        let point = run_point_batched(&code, None, &cfg, || {
-            ldpc_core::BatchMinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25), 8)
-        });
+        let point = run_point_spec(&code, None, &cfg, &spec("nms:1.25@batch=8"));
         assert!(point.frame_errors >= 5);
         assert!(point.frames < 100_000);
     }
@@ -723,12 +773,8 @@ mod tests {
         let mut cfg = quick_cfg(2.5);
         cfg.transmission = Transmission::Random;
         cfg.threads = 1;
-        let batched = run_point_batched(&code, Some(&enc), &cfg, || {
-            ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
-        });
-        let per_frame = run_point(&code, Some(&enc), &cfg, || {
-            FixedDecoder::new(demo_code(), FixedConfig::default())
-        });
+        let batched = run_point_spec(&code, Some(&enc), &cfg, &spec("fixed@batch=8"));
+        let per_frame = run_point_spec(&code, Some(&enc), &cfg, &spec("fixed"));
         assert_eq!(batched, per_frame);
     }
 
@@ -742,10 +788,8 @@ mod tests {
                 threads: 1,
                 ..quick_cfg(ebn0)
             };
-            let scalar = run_point(&code, None, &cfg, || {
-                ldpc_core::GallagerBDecoder::new(demo_code(), 3)
-            });
-            let sliced = run_point_bitsliced(&code, None, &cfg, 3);
+            let scalar = run_point_spec(&code, None, &cfg, &spec("gallager-b:t=3"));
+            let sliced = run_point_spec(&code, None, &cfg, &spec("gallager-b:t=3@bitslice"));
             assert_eq!(sliced, scalar, "ebn0={ebn0}");
         }
     }
@@ -759,7 +803,7 @@ mod tests {
             threads: 1,
             ..quick_cfg(7.0)
         };
-        let point = run_point_bitsliced(&code, None, &cfg, 3);
+        let point = run_point_spec(&code, None, &cfg, &spec("gallager-b@bitslice"));
         assert_eq!(point.frames, 100);
     }
 
@@ -771,18 +815,111 @@ mod tests {
             threads: 3,
             ..quick_cfg(5.0)
         };
-        let point = run_point_bitsliced(&code, None, &cfg, 3);
+        let point = run_point_spec(&code, None, &cfg, &spec("gallager-b@bitslice"));
         assert_eq!(point.frames, 200);
     }
 
     #[test]
     fn avg_iterations_reported() {
         let code = demo_code();
-        let point = run_point(&code, None, &quick_cfg(8.0), || {
-            MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
-        });
+        let point = run_point_spec(&code, None, &quick_cfg(8.0), &spec("nms:1.25"));
         // Clean channel: early termination keeps iterations near 1.
         assert!(point.avg_iterations() >= 1.0);
         assert!(point.avg_iterations() < 3.0);
+    }
+
+    #[test]
+    fn blocks_engine_accepts_custom_configurations() {
+        // Configurations outside the spec grammar (here: an alpha
+        // schedule) drive the same engine through run_point_blocks.
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            threads: 1,
+            ..quick_cfg(3.0)
+        };
+        let scheduled = run_point_blocks(&code, None, &cfg, || {
+            PerFrame::new(MinSumDecoder::new(
+                demo_code(),
+                MinSumConfig::normalized(4.0 / 3.0).with_alpha_schedule(vec![1.0, 4.0 / 3.0]),
+            ))
+        });
+        assert_eq!(scheduled.frames, 300);
+        // And a plain config through run_point_blocks equals the spec run.
+        let manual = run_point_blocks(&code, None, &cfg, || {
+            PerFrame::new(MinSumDecoder::new(
+                demo_code(),
+                MinSumConfig::normalized(4.0 / 3.0),
+            ))
+        });
+        assert_eq!(manual, run_point_spec(&code, None, &cfg, &spec("nms")));
+    }
+
+    /// The deprecated shims must reproduce the spec engine's counts
+    /// bit-identically on pinned seeds — the regression contract that let
+    /// the three historical entry points collapse into one engine.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_spec_engine_exactly() {
+        let code = demo_code();
+        for ebn0 in [1.5, 4.0] {
+            let cfg = MonteCarloConfig {
+                threads: 1,
+                seed: 0xC0DE,
+                ..quick_cfg(ebn0)
+            };
+            // run_point over a per-frame decoder == scalar spec.
+            let legacy = run_point(&code, None, &cfg, || {
+                MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
+            });
+            assert_eq!(legacy, run_point_spec(&code, None, &cfg, &spec("nms")));
+            // run_point_batched == @batch=8 spec.
+            let legacy = run_point_batched(&code, None, &cfg, || {
+                ldpc_core::BatchFixedDecoder::new(demo_code(), FixedConfig::default(), 8)
+            });
+            assert_eq!(
+                legacy,
+                run_point_spec(&code, None, &cfg, &spec("fixed@batch=8"))
+            );
+            // run_point_bitsliced == @bitslice spec.
+            let legacy = run_point_bitsliced(&code, None, &cfg, 3);
+            assert_eq!(
+                legacy,
+                run_point_spec(&code, None, &cfg, &spec("gallager-b:t=3@bitslice"))
+            );
+            // And the per-frame shim still matches its own engine door.
+            let legacy = run_point(&code, None, &cfg, || {
+                FixedDecoder::new(demo_code(), FixedConfig::default())
+            });
+            assert_eq!(
+                legacy,
+                run_point_blocks(&code, None, &cfg, || {
+                    PerFrame::new(FixedDecoder::new(demo_code(), FixedConfig::default()))
+                })
+            );
+            // run_curve's shim: same per-point seed derivation, same counts.
+            let legacy = run_curve(&code, None, &[ebn0, ebn0 + 1.0], &cfg, || {
+                MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
+            });
+            assert_eq!(
+                legacy,
+                run_curve_spec(&code, None, &[ebn0, ebn0 + 1.0], &cfg, &spec("nms"))
+            );
+        }
+    }
+
+    /// Every registered family runs end to end through the spec door.
+    #[test]
+    fn every_registered_family_simulates() {
+        let code = demo_code();
+        let cfg = MonteCarloConfig {
+            max_frames: 80,
+            threads: 2,
+            ..quick_cfg(6.0)
+        };
+        for family in DecoderSpec::all_families() {
+            let point = run_point_spec(&code, None, &cfg, &family);
+            assert_eq!(point.frames, 80, "{family}");
+            assert!(point.ber() <= 1.0, "{family}");
+        }
     }
 }

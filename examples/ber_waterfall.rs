@@ -8,8 +8,8 @@
 //! `cargo run --release --example ber_waterfall [--c2]`.
 
 use ccsds_ldpc::core::codes::{ccsds_c2, small::demo_code};
-use ccsds_ldpc::core::{FixedConfig, FixedDecoder};
-use ccsds_ldpc::sim::{run_curve, to_csv, MonteCarloConfig, Transmission};
+use ccsds_ldpc::core::DecoderSpec;
+use ccsds_ldpc::sim::{run_curve_spec, to_csv, MonteCarloConfig, Transmission};
 
 fn main() {
     let full_c2 = std::env::args().any(|a| a == "--c2");
@@ -23,14 +23,18 @@ fn main() {
             target_frame_errors: 20,
             max_iterations: 18,
             threads: 0,
-            seed: 0xF16_4,
+            seed: 0xF164,
             transmission: Transmission::AllZero,
             ..MonteCarloConfig::default()
         };
         eprintln!("sweeping CCSDS C2 (8176,7156), 18-iteration fixed-point decoder…");
-        let results = run_curve(&code, None, &points, &cfg, || {
-            FixedDecoder::new(ccsds_c2::code(), FixedConfig::default())
-        });
+        let results = run_curve_spec(
+            &code,
+            None,
+            &points,
+            &cfg,
+            &DecoderSpec::parse("fixed").unwrap(),
+        );
         print!("{}", to_csv(&results));
     } else {
         let code = demo_code();
@@ -40,15 +44,19 @@ fn main() {
             target_frame_errors: 60,
             max_iterations: 18,
             threads: 0,
-            seed: 0xF16_4,
+            seed: 0xF164,
             transmission: Transmission::AllZero,
             ..MonteCarloConfig::default()
         };
         eprintln!("sweeping the (248) demo code (same 2xB weight-2 QC structure as C2)…");
         eprintln!("pass --c2 for the full 8176-bit code");
-        let results = run_curve(&code, None, &points, &cfg, || {
-            FixedDecoder::new(demo_code(), FixedConfig::default())
-        });
+        let results = run_curve_spec(
+            &code,
+            None,
+            &points,
+            &cfg,
+            &DecoderSpec::parse("fixed").unwrap(),
+        );
         print!("{}", to_csv(&results));
     }
 }

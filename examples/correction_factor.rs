@@ -13,8 +13,8 @@ use ccsds_ldpc::core::codes::small::demo_code;
 use ccsds_ldpc::core::decoder::{
     fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling,
 };
-use ccsds_ldpc::core::{MinSumConfig, MinSumDecoder};
-use ccsds_ldpc::sim::{run_point, MonteCarloConfig, Transmission};
+use ccsds_ldpc::core::DecoderSpec;
+use ccsds_ldpc::sim::{run_point_spec, MonteCarloConfig, Transmission};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,14 +56,15 @@ fn main() {
     };
     let mut plain_cfg = base.clone();
     plain_cfg.max_iterations = 50;
-    let plain = run_point(&code, None, &plain_cfg, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::plain())
-    });
+    let plain = run_point_spec(&code, None, &plain_cfg, &DecoderSpec::parse("ms").unwrap());
     let mut scaled_cfg = base.clone();
     scaled_cfg.max_iterations = 18;
-    let scaled = run_point(&code, None, &scaled_cfg, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-    });
+    let scaled = run_point_spec(
+        &code,
+        None,
+        &scaled_cfg,
+        &DecoderSpec::parse("nms").unwrap(),
+    );
     println!("\nat Eb/N0 = {} dB on the demo code:", base.ebn0_db);
     println!(
         "  plain sign-min,   50 iterations: BER {:.3e}, PER {:.3e} ({} frames)",

@@ -5,7 +5,7 @@
 
 use ccsds_ldpc::channel::AwgnChannel;
 use ccsds_ldpc::core::codes::ccsds_c2;
-use ccsds_ldpc::core::{Decoder, FixedConfig, FixedDecoder};
+use ccsds_ldpc::core::DecoderSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,14 +55,18 @@ pub fn main() {
         channel.sigma()
     );
 
-    // --- Decode with the hardware datapath (18 iterations, paper §4). ---
-    let mut decoder = FixedDecoder::new(code.clone(), FixedConfig::default());
-    let out = decoder.decode(&llrs, 18);
+    // --- Decode with the hardware datapath (18 iterations, paper §4),
+    // built through the declarative registry front door: swap the spec
+    // string ("nms:1.25", "fixed@batch=8", "gallager-b@bitslice", ...)
+    // to try any registered family.
+    let spec = DecoderSpec::parse("fixed").expect("valid spec");
+    let mut decoder = spec.build(&code);
+    let out = &decoder.decode_block(&llrs, 18)[0];
     let residual = (0..code.n())
         .filter(|&i| out.hard_decision.get(i) != codeword.get(i))
         .count();
     println!(
-        "\ndecoder: {} | converged = {} after {} iterations | residual bit errors = {residual}",
+        "\ndecoder: {spec} ({}) | converged = {} after {} iterations | residual bit errors = {residual}",
         decoder.name(),
         out.converged,
         out.iterations

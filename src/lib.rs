@@ -21,9 +21,15 @@
 //!
 //! # Quickstart
 //!
+//! Every decoder family is reachable through one declarative front
+//! door: a [`DecoderSpec`](core::DecoderSpec) string names the family,
+//! its parameters, and how it runs (`"nms:1.25@batch=8"`,
+//! `"gallager-b@bitslice"`, …), and builds the decoder behind the
+//! object-safe [`BlockDecoder`](core::BlockDecoder) trait:
+//!
 //! ```
 //! use ccsds_ldpc::core::codes::small::demo_code;
-//! use ccsds_ldpc::core::{Decoder, FixedConfig, FixedDecoder};
+//! use ccsds_ldpc::core::DecoderSpec;
 //! use ccsds_ldpc::channel::AwgnChannel;
 //! use ccsds_ldpc::gf2::BitVec;
 //!
@@ -32,11 +38,18 @@
 //! let mut channel = AwgnChannel::from_ebn0(5.0, code.rate(), 42);
 //! let llrs = channel.transmit_codeword(&BitVec::zeros(code.n()));
 //!
-//! // Decode with the paper's fixed-point datapath at 18 iterations.
-//! let mut decoder = FixedDecoder::new(code.clone(), FixedConfig::default());
-//! let out = decoder.decode(&llrs, 18);
-//! assert!(out.converged);
+//! // Decode with the paper's fixed-point datapath at 18 iterations —
+//! // swap the spec string to try any other family.
+//! let mut decoder = DecoderSpec::parse("fixed")?.build(&code);
+//! let out = decoder.decode_block(&llrs, 18);
+//! assert!(out[0].converged);
+//! # Ok::<(), ccsds_ldpc::core::SpecError>(())
 //! ```
+//!
+//! Concrete decoder types (`FixedDecoder`, `MinSumDecoder`, …) remain
+//! available for configurations outside the spec grammar; they adapt
+//! into the same trait via [`PerFrame`](core::PerFrame) /
+//! [`Batched`](core::Batched).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.

@@ -1,5 +1,8 @@
 //! Cross-decoder conformance suite: one parameterized harness over every
-//! decoder family in the workspace.
+//! decoder family in the workspace, **derived from the
+//! [`DecoderSpec`] registry** — a newly registered family is covered
+//! automatically, and a family missing from the registry fails the
+//! completeness test below.
 //!
 //! Two classes of guarantee, asserted on a shared corpus of noisy frames:
 //!
@@ -21,11 +24,7 @@
 
 use ccsds_ldpc::channel::AwgnChannel;
 use ccsds_ldpc::core::codes::small::demo_code;
-use ccsds_ldpc::core::{
-    decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder,
-    DecodeResult, Decoder, FixedConfig, FixedDecoder, GallagerBDecoder, LayeredMinSumDecoder,
-    MinSumConfig, MinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
-};
+use ccsds_ldpc::core::{BlockDecoder, DecoderSpec};
 use ccsds_ldpc::gf2::BitVec;
 
 const MAX_ITERATIONS: u32 = 15;
@@ -55,77 +54,48 @@ fn corpus() -> Vec<f32> {
     llrs
 }
 
-/// One decoder family under test: a name and a closure decoding the whole
-/// corpus (frame-contiguous LLRs) into per-frame results.
-struct Family {
-    name: &'static str,
-    decode: Box<dyn FnMut(&[f32], u32) -> Vec<DecodeResult>>,
-}
-
-/// Wraps a per-frame [`Decoder`] as a corpus decoder.
-fn per_frame<D: Decoder + 'static>(name: &'static str, mut dec: D) -> Family {
-    Family {
-        name,
-        decode: Box::new(move |llrs, iters| decode_frames(&mut dec, llrs, iters)),
-    }
-}
-
-/// Wraps a [`BatchDecoder`] as a corpus decoder (full words, partial tail).
-fn batched<D: BatchDecoder + 'static>(name: &'static str, mut dec: D) -> Family {
-    Family {
-        name,
-        decode: Box::new(move |llrs, iters| {
-            let block = dec.capacity() * dec.n();
-            llrs.chunks(block)
-                .flat_map(|chunk| dec.decode_batch(chunk, iters))
-                .collect()
-        }),
-    }
-}
-
-/// Every decoder family in the workspace, built over the demo code.
-fn all_families() -> Vec<Family> {
+/// Every decoder family in the registry, built over the demo code. The
+/// suite iterates the registry — not a hand-maintained list — so
+/// registering a family in [`DecoderSpec::all_families`] is all it takes
+/// to be covered here.
+fn all_families() -> Vec<(DecoderSpec, Box<dyn BlockDecoder>)> {
     let code = demo_code();
-    vec![
-        per_frame("sum-product", SumProductDecoder::new(code.clone())),
-        per_frame(
-            "min-sum plain",
-            MinSumDecoder::new(code.clone(), MinSumConfig::plain()),
-        ),
-        per_frame(
-            "min-sum normalized",
-            MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0)),
-        ),
-        per_frame(
-            "min-sum offset",
-            MinSumDecoder::new(code.clone(), MinSumConfig::offset(0.15)),
-        ),
-        per_frame(
-            "layered min-sum",
-            LayeredMinSumDecoder::new(code.clone(), 4.0 / 3.0),
-        ),
-        per_frame(
-            "fixed-point",
-            FixedDecoder::new(code.clone(), FixedConfig::default()),
-        ),
-        per_frame("gallager-b", GallagerBDecoder::new(code.clone(), 3)),
-        per_frame(
-            "weighted bit-flip",
-            WeightedBitFlipDecoder::new(code.clone()),
-        ),
-        batched(
-            "batch min-sum",
-            BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), 8),
-        ),
-        batched(
-            "batch fixed",
-            BatchFixedDecoder::new(code.clone(), FixedConfig::default(), 8),
-        ),
-        batched(
-            "bitslice gallager-b",
-            BitsliceGallagerBDecoder::new(code.clone(), 3),
-        ),
-    ]
+    DecoderSpec::all_families()
+        .into_iter()
+        .map(|spec| {
+            let decoder = spec.build(&code);
+            (spec, decoder)
+        })
+        .collect()
+}
+
+/// The registry must cover every family the grammar can name: each
+/// registered keyword appears among `all_families()`, with the expected
+/// totals. Adding a family to the parser without registering it — or the
+/// reverse — fails here.
+#[test]
+fn registry_is_complete() {
+    let all = DecoderSpec::all_families();
+    for name in DecoderSpec::family_names() {
+        let spec = DecoderSpec::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            all.iter()
+                .any(|s| std::mem::discriminant(&s.family) == std::mem::discriminant(&spec.family)),
+            "family {name} is parseable but missing from DecoderSpec::all_families()"
+        );
+    }
+    // 9 scalar families + 3 packed mirrors. Update both the grammar and
+    // this count when registering a new family.
+    assert_eq!(DecoderSpec::family_names().len(), 9);
+    assert_eq!(all.len(), 12);
+    // Canonical specs round trip through the grammar.
+    for spec in &all {
+        assert_eq!(
+            &DecoderSpec::parse(&spec.to_string()).unwrap(),
+            spec,
+            "canonical spec {spec} does not round trip"
+        );
+    }
 }
 
 #[test]
@@ -133,33 +103,25 @@ fn every_family_reports_success_only_on_valid_codewords() {
     let code = demo_code();
     let llrs = corpus();
     let n_frames = llrs.len() / code.n();
-    for mut family in all_families() {
-        let results = (family.decode)(&llrs, MAX_ITERATIONS);
-        assert_eq!(
-            results.len(),
-            n_frames,
-            "{}: result count mismatch",
-            family.name
-        );
+    for (spec, mut decoder) in all_families() {
+        let results = decoder.decode_block(&llrs, MAX_ITERATIONS);
+        assert_eq!(results.len(), n_frames, "{spec}: result count mismatch");
         let mut successes = 0usize;
         for (f, r) in results.iter().enumerate() {
             assert_eq!(
                 r.hard_decision.len(),
                 code.n(),
-                "{}: frame {f} wrong length",
-                family.name
+                "{spec}: frame {f} wrong length"
             );
             if r.converged {
                 successes += 1;
                 assert!(
                     code.is_codeword(&r.hard_decision),
-                    "{}: frame {f} claimed success on a non-codeword",
-                    family.name
+                    "{spec}: frame {f} claimed success on a non-codeword"
                 );
                 assert!(
                     r.iterations <= MAX_ITERATIONS,
-                    "{}: frame {f} overspent the budget",
-                    family.name
+                    "{spec}: frame {f} overspent the budget"
                 );
             }
         }
@@ -167,13 +129,11 @@ fn every_family_reports_success_only_on_valid_codewords() {
         // the clean end and none may decode everything.
         assert!(
             successes >= 16,
-            "{}: only {successes}/{n_frames} frames decoded — corpus broken?",
-            family.name
+            "{spec}: only {successes}/{n_frames} frames decoded — corpus broken?"
         );
         assert!(
             successes < n_frames,
-            "{}: decoded the hopeless frames too — corpus broken?",
-            family.name
+            "{spec}: decoded the hopeless frames too — corpus broken?"
         );
     }
 }
@@ -181,55 +141,41 @@ fn every_family_reports_success_only_on_valid_codewords() {
 #[test]
 fn every_family_is_deterministic_on_the_corpus() {
     let llrs = corpus();
-    for mut family in all_families() {
-        let a = (family.decode)(&llrs, MAX_ITERATIONS);
-        let b = (family.decode)(&llrs, MAX_ITERATIONS);
-        assert_eq!(a, b, "{}: decode is not deterministic", family.name);
+    for (spec, mut decoder) in all_families() {
+        let a = decoder.decode_block(&llrs, MAX_ITERATIONS);
+        let b = decoder.decode_block(&llrs, MAX_ITERATIONS);
+        assert_eq!(a, b, "{spec}: decode is not deterministic");
     }
 }
 
-/// The documented bit-exact pairs: (reference family, mirror family).
-/// Each mirror promises byte-identical `DecodeResult`s to its reference.
+/// The documented bit-exact pairs: each packed mirror in the registry
+/// promises byte-identical `DecodeResult`s to its scalar reference.
 #[test]
 fn documented_bit_exact_pairs_agree() {
     let code = demo_code();
     let llrs = corpus();
-    let pairs: [(Family, Family); 3] = [
-        (
-            per_frame(
-                "min-sum normalized",
-                MinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0)),
-            ),
-            batched(
-                "batch min-sum",
-                BatchMinSumDecoder::new(code.clone(), MinSumConfig::normalized(4.0 / 3.0), 8),
-            ),
-        ),
-        (
-            per_frame(
-                "fixed-point",
-                FixedDecoder::new(code.clone(), FixedConfig::default()),
-            ),
-            batched(
-                "batch fixed",
-                BatchFixedDecoder::new(code.clone(), FixedConfig::default(), 8),
-            ),
-        ),
-        (
-            per_frame("gallager-b", GallagerBDecoder::new(code.clone(), 3)),
-            batched(
-                "bitslice gallager-b",
-                BitsliceGallagerBDecoder::new(code.clone(), 3),
-            ),
-        ),
+    // Every grammar-reachable packed mirror, not just the registry's
+    // canonical three: ms@batch and oms@batch share the batched min-sum
+    // datapath but exercise the plain/offset correction arms.
+    let pairs = [
+        ("ms", "ms@batch=8"),
+        ("nms", "nms@batch=8"),
+        ("oms", "oms@batch=8"),
+        ("fixed", "fixed@batch=8"),
+        ("gallager-b", "gallager-b@bitslice"),
     ];
-    for (mut reference, mut mirror) in pairs {
-        let want = (reference.decode)(&llrs, MAX_ITERATIONS);
-        let got = (mirror.decode)(&llrs, MAX_ITERATIONS);
+    for (reference, mirror) in pairs {
+        let want = DecoderSpec::parse(reference)
+            .unwrap()
+            .build(&code)
+            .decode_block(&llrs, MAX_ITERATIONS);
+        let got = DecoderSpec::parse(mirror)
+            .unwrap()
+            .build(&code)
+            .decode_block(&llrs, MAX_ITERATIONS);
         assert_eq!(
             got, want,
-            "{} diverged from its reference {}",
-            mirror.name, reference.name
+            "{mirror} diverged from its reference {reference}"
         );
     }
 }
@@ -240,13 +186,12 @@ fn documented_bit_exact_pairs_agree() {
 fn starved_budget_still_sound() {
     let code = demo_code();
     let llrs = corpus();
-    for mut family in all_families() {
-        for r in (family.decode)(&llrs, 1) {
+    for (spec, mut decoder) in all_families() {
+        for r in decoder.decode_block(&llrs, 1) {
             if r.converged {
                 assert!(
                     code.is_codeword(&r.hard_decision),
-                    "{}: success on non-codeword at budget 1",
-                    family.name
+                    "{spec}: success on non-codeword at budget 1"
                 );
             }
         }

@@ -7,8 +7,8 @@
 
 use ccsds_ldpc::core::codes::{ccsds_c2, small::demo_code};
 use ccsds_ldpc::core::{
-    BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, DecodeResult, Decoder, FixedConfig,
-    FixedDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder,
+    BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, DecodeResult, Decoder, DecoderSpec,
+    FixedConfig, FixedDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder,
 };
 use ccsds_ldpc::gf2::BitVec;
 
@@ -230,4 +230,61 @@ fn c2_parity_matrix_fingerprint() {
     }
     assert_eq!(rows_fp, again);
     assert_ne!(rows_fp, 0);
+}
+
+/// Frozen fingerprints of every registry family's results on the golden
+/// float batch, keyed by canonical spec string. Derived from the
+/// registry, so registering a new family fails this test until its
+/// fingerprint is frozen here (a one-line addition). If an existing
+/// fingerprint moves, either a real behavioural change happened (update
+/// deliberately, with a CHANGES.md note) or a refactor silently altered
+/// the datapath.
+const GOLDEN_REGISTRY: &[(&str, u64)] = &[
+    ("spa", 5942030919095317539),
+    ("ms", 13430408290068447812),
+    ("nms", 13624013924586681079),
+    ("oms", 8356094764723818816),
+    ("fixed", 13121139592671188269),
+    ("layered", 12643584728896840517),
+    ("self-corrected", 6862033022456571360),
+    ("gallager-b", 7840324428456516466),
+    ("wbf", 17663036489116059531),
+    // The packed mirrors are bit-exact against their scalar references,
+    // so their fingerprints coincide with `nms` / `fixed` / `gallager-b`
+    // above — and `nms`, `fixed`, and `layered` coincide with the
+    // `GOLDEN_BATCH_MINSUM` / `GOLDEN_BATCH_FIXED` / `GOLDEN_LAYERED`
+    // constants frozen before the registry existed.
+    ("nms@batch=8", 13624013924586681079),
+    ("fixed@batch=8", 13121139592671188269),
+    ("gallager-b@bitslice", 7840324428456516466),
+];
+
+#[test]
+fn registry_family_golden_vectors() {
+    let code = demo_code();
+    let llrs = golden_float_batch(code.n(), 6);
+    let all = DecoderSpec::all_families();
+    let prints: Vec<(String, u64)> = all
+        .iter()
+        .map(|spec| {
+            let out = spec.build(&code).decode_block(&llrs, 18);
+            (spec.to_string(), results_fingerprint(&out))
+        })
+        .collect();
+    for (name, fp) in &prints {
+        println!("    (\"{name}\", {fp}),");
+    }
+    for (name, fp) in &prints {
+        let want = GOLDEN_REGISTRY
+            .iter()
+            .find(|(frozen, _)| frozen == name)
+            .unwrap_or_else(|| panic!("{name}: no frozen fingerprint — add it to GOLDEN_REGISTRY"))
+            .1;
+        assert_eq!(*fp, want, "{name}: output fingerprint moved");
+    }
+    assert_eq!(
+        GOLDEN_REGISTRY.len(),
+        all.len(),
+        "GOLDEN_REGISTRY has stale entries"
+    );
 }

@@ -25,7 +25,7 @@ fn low_cost_simulator_bit_exact_on_c2() {
     let mut reference = FixedDecoder::new(code.clone(), cfg.fixed);
     for seed in [1u64, 2, 3] {
         let frame = noisy_quantized_frame(seed, 4.0);
-        let sim_out = sim.decode(&[frame.clone()], 18);
+        let sim_out = sim.decode(std::slice::from_ref(&frame), 18);
         let ref_out = reference.decode_quantized(&frame, 18);
         assert_eq!(sim_out.results[0], ref_out, "seed {seed}");
     }
@@ -59,7 +59,7 @@ fn simulator_cycles_equal_model_cycles_on_c2() {
         let model = ThroughputModel::new(cfg.clone(), CodeDims::ccsds_c2());
         let frame = noisy_quantized_frame(9, 5.0);
         for iters in [1u32, 10, 18] {
-            let out = sim.decode(&[frame.clone()], iters);
+            let out = sim.decode(std::slice::from_ref(&frame), iters);
             assert_eq!(
                 out.cycles,
                 model.frame_cycles(iters),
@@ -84,7 +84,7 @@ fn message_traffic_scales_with_iterations() {
     let code = ccsds_c2::code();
     let sim = ArchSimulator::new(ArchConfig::low_cost(), code.clone());
     let frame = noisy_quantized_frame(11, 5.0);
-    let one = sim.decode(&[frame.clone()], 1);
+    let one = sim.decode(std::slice::from_ref(&frame), 1);
     let three = sim.decode(&[frame], 3);
     assert_eq!(3 * one.memory_reads, three.memory_reads);
     assert_eq!(3 * one.memory_writes, three.memory_writes);

@@ -3,11 +3,11 @@
 //! factor), and the Figure 2 structure.
 
 use ccsds_ldpc::core::codes::{ccsds_c2, small::demo_code};
-use ccsds_ldpc::core::{MinSumConfig, MinSumDecoder};
+use ccsds_ldpc::core::DecoderSpec;
 use ccsds_ldpc::hwsim::{
     ArchConfig, CodeDims, ResourceEstimate, ThroughputModel, CYCLONE_II_EP2C50, STRATIX_II_EP2S180,
 };
-use ccsds_ldpc::sim::{run_point, MonteCarloConfig, Transmission};
+use ccsds_ldpc::sim::{run_point_spec, MonteCarloConfig, Transmission};
 
 #[test]
 fn table_1_throughputs() {
@@ -137,14 +137,15 @@ fn section_5_correction_factor_beats_plain_min_sum() {
     };
     let mut plain_cfg = base.clone();
     plain_cfg.max_iterations = 50;
-    let plain = run_point(&code, None, &plain_cfg, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::plain())
-    });
+    let plain = run_point_spec(&code, None, &plain_cfg, &DecoderSpec::parse("ms").unwrap());
     let mut scaled_cfg = base;
     scaled_cfg.max_iterations = 18;
-    let scaled = run_point(&code, None, &scaled_cfg, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-    });
+    let scaled = run_point_spec(
+        &code,
+        None,
+        &scaled_cfg,
+        &DecoderSpec::parse("nms").unwrap(),
+    );
     assert!(
         scaled.per() <= plain.per() * 1.25,
         "scaled 18-iter PER {} vs plain 50-iter PER {}",
@@ -171,12 +172,8 @@ fn iterations_trade_reliability_for_speed() {
     cfg10.max_iterations = 4;
     let mut cfg50 = base;
     cfg50.max_iterations = 50;
-    let few = run_point(&code, None, &cfg10, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-    });
-    let many = run_point(&code, None, &cfg50, || {
-        MinSumDecoder::new(demo_code(), MinSumConfig::normalized(4.0 / 3.0))
-    });
+    let few = run_point_spec(&code, None, &cfg10, &DecoderSpec::parse("nms").unwrap());
+    let many = run_point_spec(&code, None, &cfg50, &DecoderSpec::parse("nms").unwrap());
     assert!(
         many.per() < few.per(),
         "50-iter PER {} should beat 4-iter PER {}",
