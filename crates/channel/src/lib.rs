@@ -11,7 +11,11 @@
 //!   `2y/σ²` with the positive-means-zero sign convention used by the
 //!   decoders;
 //! * [`ebn0_to_sigma`] and friends — Eb/N0 ⇄ noise-level conversions that
-//!   account for the code rate.
+//!   account for the code rate;
+//! * [`ChannelSpec`] — the declarative front door: `"awgn"`, `"bsc:0.02"`,
+//!   `"rayleigh"`, with an optional `@quant=B` LLR-quantization modifier,
+//!   building any registered model behind the object-safe [`Channel`]
+//!   trait (see the [`spec`] module docs for the grammar).
 //!
 //! # Example
 //!
@@ -30,8 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod spec;
 mod variants;
 
+pub use spec::{
+    Channel, ChannelKind, ChannelSpec, ChannelSpecError, QuantizedChannel, DEFAULT_BSC_P,
+    QUANT_LLR_STEP,
+};
 pub use variants::{BscChannel, RayleighChannel};
 
 use gf2::BitVec;

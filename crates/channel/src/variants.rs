@@ -86,6 +86,21 @@ impl BscChannel {
 /// Each symbol is scaled by an independent Rayleigh amplitude `a` (unit
 /// mean square) before the Gaussian noise; the receiver demaps with
 /// `llr = 2·a·y/σ²`.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitVec;
+/// use ldpc_channel::{ebn0_to_sigma, RayleighChannel};
+///
+/// let sigma = ebn0_to_sigma(6.0, 0.875);
+/// let mut ch = RayleighChannel::new(sigma, 7);
+/// let llrs = ch.transmit_codeword(&BitVec::zeros(200));
+/// assert_eq!(llrs.len(), 200);
+/// // Deep fades shrink LLR magnitudes but the all-zero codeword still
+/// // leans positive overall.
+/// assert!(llrs.iter().filter(|&&l| l > 0.0).count() > 150);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RayleighChannel {
     sigma: f64,

@@ -69,3 +69,69 @@ proptest! {
         prop_assert!((4.0 * double_sigma - base).abs() < 1e-3 * base.abs().max(1.0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The channel-spec grammar round trips: for every model and random
+    /// valid parameters (with and without the quantization modifier),
+    /// `parse(display(spec)) == spec`, and display is a fixpoint.
+    #[test]
+    fn channel_spec_roundtrips(
+        family_idx in 0usize..3,
+        p in 0.001f64..0.499,
+        quant_bits in 2u32..16,
+        quantized in any::<bool>(),
+    ) {
+        use ldpc_channel::{ChannelKind, ChannelSpec};
+        let kind = match family_idx {
+            0 => ChannelKind::Awgn,
+            1 => ChannelKind::Bsc { p },
+            _ => ChannelKind::Rayleigh,
+        };
+        let spec = ChannelSpec {
+            kind,
+            quant: quantized.then_some(quant_bits),
+        };
+        let rendered = spec.to_string();
+        let reparsed = ChannelSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(reparsed, spec, "{} did not round trip", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Every valid spec builds a working channel whose output length
+    /// matches the codeword, deterministically per seed.
+    #[test]
+    fn channel_specs_build_deterministic_channels(
+        family_idx in 0usize..3,
+        p in 0.001f64..0.499,
+        ebn0 in -2.0f64..10.0,
+        seed in 0u64..500,
+    ) {
+        use ldpc_channel::{ChannelKind, ChannelSpec};
+        let kind = match family_idx {
+            0 => ChannelKind::Awgn,
+            1 => ChannelKind::Bsc { p },
+            _ => ChannelKind::Rayleigh,
+        };
+        let spec = ChannelSpec { kind, quant: None };
+        let cw = BitVec::zeros(48);
+        let a = spec.build(ebn0, 0.875, seed).transmit_codeword(&cw);
+        let b = spec.build(ebn0, 0.875, seed).transmit_codeword(&cw);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 48);
+    }
+
+    /// Malformed channel specs never panic and always explain themselves.
+    #[test]
+    fn malformed_channel_specs_error_actionably(junk_idx in 0usize..5) {
+        use ldpc_channel::ChannelSpec;
+        let junk = ["zz", "-1", "0.6", "@", "quant="][junk_idx];
+        let err = ChannelSpec::parse(&format!("bsc:{junk}"))
+            .expect_err("malformed bsc parameter accepted");
+        prop_assert!(!err.to_string().is_empty());
+        let err = ChannelSpec::parse(&format!("{junk}-channel")).unwrap_err();
+        prop_assert!(!err.to_string().is_empty());
+    }
+}

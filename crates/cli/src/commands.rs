@@ -4,17 +4,20 @@
 //! testable; `main` only does I/O.
 
 use crate::args::{ArgError, ParsedArgs};
-use ldpc_core::codes::{ccsds_c2, small::demo_code};
-use ldpc_core::{DecoderSpec, LdpcCode};
+use ldpc_channel::ChannelSpec;
+use ldpc_core::codes::ccsds_c2;
+use ldpc_core::{CodeSpec, DecoderSpec};
 use ldpc_hwsim::{
     devices, plan, render_table, ArchConfig, CodeDims, PlannerRequest, ResourceEstimate,
     ThroughputModel,
 };
-use ldpc_sim::{run_curve_spec, run_point_spec, MonteCarloConfig, Transmission};
+use ldpc_sim::{
+    run_curve_scenario_with, run_point_scenario, split_spec_list, MonteCarloConfig, Scenario,
+    Transmission,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
-use std::sync::Arc;
 
 /// Dispatches a parsed command line.
 ///
@@ -50,18 +53,28 @@ COMMANDS:
   info                      print the C2 code parameters
   encode [--random|--zeros] [--seed N]
                             encode one 7154-bit frame; prints codeword bits
-  simulate [--demo|--c2] [--decoder SPEC] [--ebn0 DB] [--frames N]
-           [--iters N] [--threads N] [--seed N]
-                            Monte-Carlo one operating point; prints CSV
-                            (--threads 0 = all cores)
-  sweep --decoders SPEC,SPEC,... [--demo|--c2] [--ebn0s DB,DB,...]
-        [--frames N] [--iters N] [--threads N] [--seed N]
-                            one CSV across decoder families and Eb/N0
-                            points — same engine, one row per combination
+  simulate [--code SPEC|--demo|--c2] [--channel SPEC] [--decoder SPEC]
+           [--ebn0 DB] [--frames N] [--iters N] [--threads N] [--seed N]
+                            Monte-Carlo one scenario at one operating
+                            point; prints CSV (--threads 0 = all cores)
+  sweep --decoders SPEC,SPEC,... [--codes SPEC,...] [--channels SPEC,...]
+        [--demo|--c2] [--ebn0s DB,DB,...] [--frames N] [--iters N]
+        [--threads N] [--seed N]
+                            grid sweep: one long-format CSV over every
+                            code x channel x decoder x Eb/N0 combination,
+                            all through the one Monte-Carlo engine
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
   help                      this text
+
+CODE SPECS (simulate --code / sweep --codes; default c2):
+  families: {codes}
+  examples: demo | c2 | ar4ja:r=1/2,k=1024 | shortened:c2,k=4096
+
+CHANNEL SPECS (simulate --channel / sweep --channels; default awgn):
+  families: {channels} — modifier @quant=B (B-bit LLR quantization)
+  examples: awgn | bsc:0.02 | rayleigh | awgn@quant=5
 
 DECODER SPECS (simulate --decoder / sweep --decoders):
   family[:param][@modifier...] — families: {families}
@@ -71,16 +84,27 @@ DECODER SPECS (simulate --decoder / sweep --decoders):
              @bitslice (64 frames per u64 word: gallager-b)
   deprecated flags --batch N, --hard, --bitslice, --threshold N still
   map onto the matching spec
+
+The full grammar and copy-pasteable recipes live in docs/scenarios.md.
 ",
+        codes = CodeSpec::family_names().join(", "),
+        channels = ChannelSpec::family_names().join(", "),
         families = DecoderSpec::family_names().join(", ")
     )
 }
 
-fn code_selection(args: &ParsedArgs) -> (Arc<LdpcCode>, &'static str) {
-    if args.flag("demo") {
-        (demo_code(), "demo")
-    } else {
-        (ccsds_c2::code(), "c2")
+/// Resolves the single code spec of `simulate` from `--code SPEC` or the
+/// `--demo` / `--c2` shorthand flags (default: the paper's C2 code).
+fn resolve_code_spec(args: &ParsedArgs) -> Result<CodeSpec, Box<dyn Error>> {
+    match args.get("code") {
+        Some(raw) => {
+            if args.flag("demo") || args.flag("c2") {
+                return Err("--code conflicts with --demo/--c2; give just one".into());
+            }
+            Ok(raw.parse::<CodeSpec>()?)
+        }
+        None if args.flag("demo") => Ok(CodeSpec::Demo),
+        None => Ok(CodeSpec::C2),
     }
 }
 
@@ -130,10 +154,25 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 /// parsed from the common flags (`--frames/--iters/--seed/--threads`).
 /// One definition, so a sweep row always reproduces a simulate run with
 /// the same flags at point index 0. `ebn0_db` is left at 0.0 — the
-/// caller sets it (simulate) or `run_curve_spec` derives it per point
-/// (sweep).
-fn mc_config_from_args(args: &ParsedArgs, label: &str) -> Result<MonteCarloConfig, Box<dyn Error>> {
-    let default_frames = if label == "c2" { 50 } else { 2_000 };
+/// caller sets it (simulate) or `run_curve_scenario` derives it per
+/// point (sweep). The frame default is sized to the smallest code in
+/// play: 2000 frames for demo-only runs, 50 once a full-scale code is
+/// involved.
+fn mc_config_from_args(
+    args: &ParsedArgs,
+    codes: &[CodeSpec],
+) -> Result<MonteCarloConfig, Box<dyn Error>> {
+    let all_demo = codes.iter().all(|c| {
+        matches!(
+            c,
+            CodeSpec::Demo
+                | CodeSpec::Shortened {
+                    base: ldpc_core::ShortenedBase::Demo,
+                    ..
+                }
+        )
+    });
+    let default_frames = if all_demo { 2_000 } else { 50 };
     let frames: u64 = args.get_or("frames", default_frames)?;
     if frames == 0 {
         return Err(Box::new(ArgError::InvalidValue {
@@ -153,16 +192,32 @@ fn mc_config_from_args(args: &ParsedArgs, label: &str) -> Result<MonteCarloConfi
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    let (code, label) = code_selection(args);
-    let spec = resolve_decoder_spec(args)?;
+    for plural in ["codes", "channels", "decoders"] {
+        if args.get(plural).is_some() {
+            return Err(format!(
+                "--{plural} belongs to sweep; simulate takes the singular --{}",
+                &plural[..plural.len() - 1]
+            )
+            .into());
+        }
+    }
+    let channel = match args.get("channel") {
+        Some(raw) => raw.parse::<ChannelSpec>()?,
+        None => ChannelSpec::awgn(),
+    };
+    let scenario = Scenario {
+        code: resolve_code_spec(args)?,
+        channel,
+        decoder: resolve_decoder_spec(args)?,
+    };
     let cfg = MonteCarloConfig {
         ebn0_db: args.get_or("ebn0", 4.0)?,
-        ..mc_config_from_args(args, label)?
+        ..mc_config_from_args(args, std::slice::from_ref(&scenario.code))?
     };
-    let point = run_point_spec(&code, None, &cfg, &spec);
+    let point = run_point_scenario(&scenario, &cfg)?;
     Ok(format!(
         "{CSV_HEADER}\n{}\n",
-        simulate_csv_row(label, &spec, &point)
+        scenario_csv_row(&scenario, &point)
     ))
 }
 
@@ -239,7 +294,6 @@ fn resolve_decoder_spec(args: &ParsedArgs) -> Result<DecoderSpec, Box<dyn Error>
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    let (code, label) = code_selection(args);
     // The legacy simulate decoder flags have no sweep mapping: decoder
     // choice is exactly the --decoders list. Reject them rather than
     // silently running a different decoder than the caller asked for.
@@ -253,15 +307,43 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             return Err(format!("--{legacy} does not apply to sweep; put it in the --decoders specs (e.g. gallager-b:t=2, nms@batch=8)").into());
         }
     }
-    if args.get("decoder").is_some() {
-        return Err("--decoder does not apply to sweep; list the spec in --decoders".into());
+    for (singular, plural) in [
+        ("decoder", "--decoders"),
+        ("code", "--codes"),
+        ("channel", "--channels"),
+    ] {
+        if args.get(singular).is_some() {
+            return Err(
+                format!("--{singular} does not apply to sweep; list the spec in {plural}").into(),
+            );
+        }
     }
-    let specs: Vec<DecoderSpec> = args
-        .get("decoders")
-        .ok_or("sweep requires --decoders <spec,spec,...> (try `ldpc-tool help`)")?
-        .split(',')
-        .map(|s| DecoderSpec::parse(s).map_err(Box::<dyn Error>::from))
-        .collect::<Result<_, _>>()?;
+    let decoders: Vec<DecoderSpec> = split_spec_list(
+        args.get("decoders")
+            .ok_or("sweep requires --decoders <spec,spec,...> (try `ldpc-tool help`)")?,
+    )
+    .iter()
+    .map(|s| DecoderSpec::parse(s).map_err(Box::<dyn Error>::from))
+    .collect::<Result<_, _>>()?;
+    let codes: Vec<CodeSpec> = match args.get("codes") {
+        Some(list) => {
+            if args.flag("demo") || args.flag("c2") {
+                return Err("--codes conflicts with --demo/--c2; give just one".into());
+            }
+            split_spec_list(list)
+                .iter()
+                .map(|s| s.parse().map_err(Box::<dyn Error>::from))
+                .collect::<Result<_, _>>()?
+        }
+        None => vec![resolve_code_spec(args)?],
+    };
+    let channels: Vec<ChannelSpec> = match args.get("channels") {
+        Some(list) => split_spec_list(list)
+            .iter()
+            .map(|s| s.parse().map_err(Box::<dyn Error>::from))
+            .collect::<Result<_, _>>()?,
+        None => vec![ChannelSpec::awgn()],
+    };
     let ebn0s: Vec<f64> = match args.get("ebn0s") {
         Some(list) => list
             .split(',')
@@ -274,29 +356,60 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             .collect::<Result<_, _>>()?,
         None => vec![args.get_or("ebn0", 4.0)?],
     };
-    let base = mc_config_from_args(args, label)?;
+    let base = mc_config_from_args(args, &codes)?;
     let mut out = format!("{CSV_HEADER}\n");
-    for spec in &specs {
-        // One engine, one seed derivation: each spec sweeps the same
-        // Eb/N0 points through ldpc_sim::run_curve_spec, so sweep rows
-        // reproduce simulate / run_curve runs at the same point index.
-        for point in run_curve_spec(&code, None, &ebn0s, &base, spec) {
-            out.push_str(&simulate_csv_row(label, spec, &point));
-            out.push('\n');
+    for code in &codes {
+        // Each code is built once for the whole grid (an AR4JA lift or a
+        // shortened view's encoder is not free), then shared across every
+        // channel × decoder × Eb/N0 combination.
+        let handle = code.build()?;
+        for channel in &channels {
+            for decoder in &decoders {
+                // One engine, one seed derivation: every scenario sweeps
+                // the same Eb/N0 points through run_curve_scenario_with,
+                // so a sweep row reproduces a simulate run with the same
+                // flags at the same point index.
+                let scenario = Scenario {
+                    code: *code,
+                    channel: *channel,
+                    decoder: decoder.clone(),
+                };
+                for point in run_curve_scenario_with(&handle, &scenario, &ebn0s, &base) {
+                    out.push_str(&scenario_csv_row(&scenario, &point));
+                    out.push('\n');
+                }
+            }
         }
     }
     Ok(out)
 }
 
 /// The CSV header shared by `simulate` and `sweep`.
-const CSV_HEADER: &str = "code,decoder,ebn0_db,frames,ber,per,avg_iterations";
+const CSV_HEADER: &str = "code,channel,decoder,ebn0_db,frames,ber,per,avg_iterations";
 
-/// One CSV data row shared by `simulate` and `sweep`: the decoder column
-/// is the canonical spec string, so `nms:1.25` and `nms:1.0` never
-/// collapse into the same label.
-fn simulate_csv_row(label: &str, spec: &DecoderSpec, point: &ldpc_sim::PointResult) -> String {
+/// Renders one CSV field, quoting per RFC 4180 when the value contains
+/// a comma (a `shortened:c2,k=4096` code spec) or a quote, so every row
+/// keeps exactly the header's field count under any standard CSV
+/// reader.
+fn csv_field(value: &str) -> String {
+    if value.contains(',') || value.contains('"') {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// One CSV data row shared by `simulate` and `sweep`: the code, channel,
+/// and decoder columns are canonical spec strings, so `nms:1.25` and
+/// `nms:1.0` (or `bsc:0.02` and `bsc:0.1`) never collapse into the same
+/// label, and any row can be re-run by pasting its first three columns
+/// (unquoted) into `simulate --code/--channel/--decoder`.
+fn scenario_csv_row(scenario: &Scenario, point: &ldpc_sim::PointResult) -> String {
     format!(
-        "{label},{spec},{:.3},{},{:.6e},{:.6e},{:.2}",
+        "{},{},{},{:.3},{},{:.6e},{:.6e},{:.2}",
+        csv_field(&scenario.code.to_string()),
+        csv_field(&scenario.channel.to_string()),
+        csv_field(&scenario.decoder.to_string()),
         point.ebn0_db,
         point.frames,
         point.ber(),
@@ -430,9 +543,9 @@ mod tests {
             "simulate", "--demo", "--ebn0", "6.0", "--frames", "100", "--iters", "10",
         ]))
         .unwrap();
-        assert!(out.starts_with("code,decoder"));
+        assert!(out.starts_with("code,channel,decoder"));
         let data = out.lines().nth(1).unwrap();
-        assert!(data.starts_with("demo,fixed,6.000,100,"));
+        assert!(data.starts_with("demo,awgn,fixed,6.000,100,"));
     }
 
     #[test]
@@ -464,7 +577,7 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,fixed@batch=8,3.000,64,"));
+            .starts_with("demo,awgn,fixed@batch=8,3.000,64,"));
         // Identical counts; only the decoder label records the packing.
         assert_eq!(per_frame.replace(",fixed,", ",fixed@batch=8,"), batched);
         // The modifier spelled directly in the spec is byte-identical.
@@ -493,7 +606,7 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,nms@batch=4,5.000,32,"));
+            .starts_with("demo,awgn,nms@batch=4,5.000,32,"));
     }
 
     #[test]
@@ -524,12 +637,12 @@ mod tests {
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,gallager-b,5.000,96,"));
+            .starts_with("demo,awgn,gallager-b,5.000,96,"));
         assert!(sliced
             .lines()
             .nth(1)
             .unwrap()
-            .starts_with("demo,gallager-b@bitslice,5.000,96,"));
+            .starts_with("demo,awgn,gallager-b@bitslice,5.000,96,"));
         assert_eq!(
             scalar.replace(",gallager-b,", ",gallager-b@bitslice,"),
             sliced,
@@ -631,7 +744,7 @@ mod tests {
                 out.lines()
                     .nth(1)
                     .unwrap()
-                    .starts_with(&format!("demo,{spec},6.000,8,")),
+                    .starts_with(&format!("demo,awgn,{spec},6.000,8,")),
                 "{spec}: {out}"
             );
         }
@@ -651,7 +764,11 @@ mod tests {
             "5",
         ]))
         .unwrap();
-        assert!(out.lines().nth(1).unwrap().starts_with("demo,nms:1.25,"));
+        assert!(out
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("demo,awgn,nms:1.25,"));
     }
 
     #[test]
@@ -674,13 +791,13 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(
             lines[0],
-            "code,decoder,ebn0_db,frames,ber,per,avg_iterations"
+            "code,channel,decoder,ebn0_db,frames,ber,per,avg_iterations"
         );
         assert_eq!(lines.len(), 1 + 3 * 2, "one row per (decoder, ebn0)");
-        assert!(lines[1].starts_with("demo,nms:1.25,4.000,16,"));
-        assert!(lines[2].starts_with("demo,nms:1.25,6.000,16,"));
-        assert!(lines[3].starts_with("demo,fixed@batch=8,4.000,16,"));
-        assert!(lines[5].starts_with("demo,gallager-b@bitslice,4.000,16,"));
+        assert!(lines[1].starts_with("demo,awgn,nms:1.25,4.000,16,"));
+        assert!(lines[2].starts_with("demo,awgn,nms:1.25,6.000,16,"));
+        assert!(lines[3].starts_with("demo,awgn,fixed@batch=8,4.000,16,"));
+        assert!(lines[5].starts_with("demo,awgn,gallager-b@bitslice,4.000,16,"));
     }
 
     #[test]
@@ -753,6 +870,179 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("known families"), "{err}");
+    }
+
+    #[test]
+    fn spec_lists_reattach_parameter_continuations() {
+        assert_eq!(
+            split_spec_list("demo,ar4ja:r=2/3,k=1024,shortened:c2,k=4096"),
+            vec!["demo", "ar4ja:r=2/3,k=1024", "shortened:c2,k=4096"]
+        );
+        assert_eq!(
+            split_spec_list("nms:1.25,gallager-b:t=2@bitslice,fixed@batch=8"),
+            vec!["nms:1.25", "gallager-b:t=2@bitslice", "fixed@batch=8"]
+        );
+        assert_eq!(
+            split_spec_list("awgn@quant=5,bsc:0.02"),
+            vec!["awgn@quant=5", "bsc:0.02"]
+        );
+    }
+
+    #[test]
+    fn sweep_grid_emits_one_row_per_combination() {
+        // The acceptance-criterion grid, demo-sized: codes x channels x
+        // decoders x points, canonical spec strings in the first three
+        // columns.
+        let out = run(&parsed(&[
+            "sweep",
+            "--codes",
+            "demo,shortened:demo,k=120",
+            "--channels",
+            "awgn,bsc:0.02",
+            "--decoders",
+            "ms,nms:1.25",
+            "--ebn0s",
+            "3,4",
+            "--frames",
+            "16",
+            "--iters",
+            "5",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "code,channel,decoder,ebn0_db,frames,ber,per,avg_iterations"
+        );
+        assert_eq!(
+            lines.len(),
+            1 + 2 * 2 * 2 * 2,
+            "2 codes x 2 channels x 2 decoders x 2 points"
+        );
+        assert!(lines[1].starts_with("demo,awgn,ms,3.000,16,"));
+        assert!(lines[2].starts_with("demo,awgn,ms,4.000,16,"));
+        assert!(lines[3].starts_with("demo,awgn,nms:1.25,3.000,16,"));
+        assert!(lines[5].starts_with("demo,bsc:0.02,ms,3.000,16,"));
+        // A comma-containing code spec is RFC 4180-quoted, so the row
+        // keeps the header's field count.
+        assert!(lines[9].starts_with("\"shortened:demo,k=120\",awgn,ms,3.000,16,"));
+        // Every data row's first columns are canonical: re-parsing and
+        // re-rendering them is the identity.
+        for line in &lines[1..] {
+            let (code_str, rest) = if let Some(quoted) = line.strip_prefix('"') {
+                let (code_str, rest) = quoted.split_once('"').expect("closing quote");
+                (code_str, rest.strip_prefix(',').expect("field separator"))
+            } else {
+                line.split_once(',').unwrap()
+            };
+            let fields: Vec<&str> = rest.split(',').collect();
+            assert_eq!(fields.len(), 7, "{line}: field count after code");
+            assert_eq!(
+                CodeSpec::parse(code_str).unwrap().to_string(),
+                code_str,
+                "{line}"
+            );
+            assert_eq!(
+                ChannelSpec::parse(fields[0]).unwrap().to_string(),
+                fields[0],
+                "{line}"
+            );
+            assert_eq!(
+                DecoderSpec::parse(fields[1]).unwrap().to_string(),
+                fields[1],
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_codes_with_demo_flag() {
+        let err = run(&parsed(&[
+            "sweep",
+            "--demo",
+            "--codes",
+            "c2",
+            "--decoders",
+            "ms",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--demo"), "{err}");
+    }
+
+    #[test]
+    fn sweep_row_reproduces_simulate_with_matching_flags() {
+        let shared = [
+            "--frames",
+            "24",
+            "--iters",
+            "6",
+            "--seed",
+            "5",
+            "--threads",
+            "1",
+        ];
+        let mut sim = vec![
+            "simulate",
+            "--demo",
+            "--channel",
+            "bsc:0.02",
+            "--decoder",
+            "nms:1.25",
+        ];
+        sim.extend(shared);
+        let mut sweep = vec![
+            "sweep",
+            "--demo",
+            "--channels",
+            "bsc:0.02",
+            "--decoders",
+            "nms:1.25",
+        ];
+        sweep.extend(shared);
+        assert_eq!(run(&parsed(&sim)).unwrap(), run(&parsed(&sweep)).unwrap());
+    }
+
+    #[test]
+    fn simulate_channel_column_defaults_to_awgn_and_tracks_spec() {
+        let out = run(&parsed(&[
+            "simulate",
+            "--demo",
+            "--channel",
+            "rayleigh",
+            "--frames",
+            "8",
+            "--iters",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.lines().nth(1).unwrap().starts_with("demo,rayleigh,"));
+    }
+
+    #[test]
+    fn simulate_rejects_conflicting_code_selectors() {
+        let err = run(&parsed(&["simulate", "--demo", "--code", "c2"])).unwrap_err();
+        assert!(err.to_string().contains("--demo"), "{err}");
+        let err = run(&parsed(&["simulate", "--codes", "demo"])).unwrap_err();
+        assert!(err.to_string().contains("sweep"), "{err}");
+        let err = run(&parsed(&[
+            "sweep",
+            "--decoders",
+            "ms",
+            "--channel",
+            "bsc:0.02",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--channels"), "{err}");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_code_and_channel_specs() {
+        let err = run(&parsed(&["simulate", "--code", "zeta"])).unwrap_err();
+        assert!(err.to_string().contains("known families"), "{err}");
+        let err = run(&parsed(&["simulate", "--demo", "--channel", "zeta"])).unwrap_err();
+        assert!(err.to_string().contains("known models"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod codes;
+mod codespec;
 pub mod decoder;
 mod encoder;
 mod error;
@@ -49,6 +50,9 @@ mod tanner;
 mod code;
 
 pub use code::LdpcCode;
+pub use codespec::{
+    CodeHandle, CodeSpec, CodeSpecError, PlainCode, ShortenedBase, AR4JA_LIFT_SEED, DEFAULT_AR4JA_K,
+};
 pub use decoder::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Batched,
     BitsliceGallagerBDecoder, BlockDecoder, DecodeResult, DecodeTrace, Decoder, DecoderFamily,

@@ -18,15 +18,21 @@ const KNOWN_BIT_LLR: f32 = 64.0;
 /// A shortened view of a mother code: the first `shortened` information
 /// positions are pinned to zero and not transmitted.
 ///
+/// Shortened codes are also registered in the [`CodeSpec`](crate::CodeSpec)
+/// grammar (`shortened:c2,k=4096` names the C2 code shortened to 4096
+/// information bits) and implement [`CodeHandle`](crate::CodeHandle), so the
+/// Monte-Carlo scenario engine drives them like any other code.
+///
 /// # Example
 ///
 /// ```
 /// use ldpc_core::codes::small::demo_code;
 /// use ldpc_core::{Encoder, ShortenedCode};
+/// use std::sync::Arc;
 ///
 /// # fn main() -> Result<(), ldpc_core::EncodeError> {
 /// let code = demo_code();
-/// let enc = Encoder::new(&code)?;
+/// let enc = Arc::new(Encoder::new(&code)?);
 /// let k = enc.dimension();
 /// let short = ShortenedCode::new(code, enc, 40)?;
 /// assert_eq!(short.info_len(), k - 40);
@@ -36,13 +42,21 @@ const KNOWN_BIT_LLR: f32 = 64.0;
 /// ```
 pub struct ShortenedCode {
     code: Arc<LdpcCode>,
-    encoder: Encoder,
+    encoder: Arc<Encoder>,
     shortened: usize,
+    /// `pinned[b]` = codeword position `b` is pinned to zero — computed
+    /// once so the per-frame LLR expansion in the Monte-Carlo hot loop
+    /// stays allocation-free.
+    pinned: Vec<bool>,
 }
 
 impl ShortenedCode {
     /// Creates a shortened code pinning the first `shortened` message
     /// coordinates of `encoder` to zero.
+    ///
+    /// The encoder is shared (`Arc`), so expensive encoders — the C2
+    /// code's Gaussian elimination — are built once and reused across
+    /// shortened views.
     ///
     /// # Errors
     ///
@@ -50,7 +64,7 @@ impl ShortenedCode {
     /// smaller than the code dimension.
     pub fn new(
         code: Arc<LdpcCode>,
-        encoder: Encoder,
+        encoder: Arc<Encoder>,
         shortened: usize,
     ) -> Result<Self, EncodeError> {
         if shortened >= encoder.dimension() {
@@ -59,10 +73,15 @@ impl ShortenedCode {
                 actual: shortened,
             });
         }
+        let mut pinned = vec![false; code.n()];
+        for &p in &encoder.info_positions()[..shortened] {
+            pinned[p as usize] = true;
+        }
         Ok(Self {
             code,
             encoder,
             shortened,
+            pinned,
         })
     }
 
@@ -101,6 +120,13 @@ impl ShortenedCode {
         self.encoder.info_positions()[..self.shortened].to_vec()
     }
 
+    /// The precomputed per-position pinned mask (`mask[b]` = position
+    /// `b` is pinned) — the single source the LLR expansion and the
+    /// `CodeHandle` transmission profile both read.
+    pub(crate) fn pinned_mask(&self) -> &[bool] {
+        &self.pinned
+    }
+
     /// Encodes `info` (length [`info_len`](Self::info_len)) into a full
     /// mother-code codeword whose pinned positions are zero.
     ///
@@ -129,25 +155,33 @@ impl ShortenedCode {
     ///
     /// Panics if `received.len() != self.transmitted_len()`.
     pub fn expand_llrs(&self, received: &[f32]) -> Vec<f32> {
+        let mut full = Vec::with_capacity(self.code.n());
+        self.expand_llrs_into(received, &mut full);
+        full
+    }
+
+    /// [`expand_llrs`](Self::expand_llrs), appending to `out` instead of
+    /// allocating — the form the Monte-Carlo engine uses to fill one
+    /// frame block without per-frame allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != self.transmitted_len()`.
+    pub fn expand_llrs_into(&self, received: &[f32], out: &mut Vec<f32>) {
         assert_eq!(
             received.len(),
             self.transmitted_len(),
             "received LLR length mismatch"
         );
-        let mut pinned = vec![false; self.code.n()];
-        for &p in &self.encoder.info_positions()[..self.shortened] {
-            pinned[p as usize] = true;
-        }
-        let mut full = Vec::with_capacity(self.code.n());
+        out.reserve(self.code.n());
         let mut it = received.iter();
-        for is_pinned in pinned {
+        for &is_pinned in &self.pinned {
             if is_pinned {
-                full.push(KNOWN_BIT_LLR);
+                out.push(KNOWN_BIT_LLR);
             } else {
-                full.push(*it.next().expect("length checked"));
+                out.push(*it.next().expect("length checked"));
             }
         }
-        full
     }
 
     /// Extracts the transmittable information bits from a decoded
@@ -172,7 +206,7 @@ mod tests {
 
     fn shortened(by: usize) -> ShortenedCode {
         let code = demo_code();
-        let enc = Encoder::new(&code).unwrap();
+        let enc = Arc::new(Encoder::new(&code).unwrap());
         ShortenedCode::new(code, enc, by).unwrap()
     }
 
@@ -262,7 +296,7 @@ mod tests {
     #[test]
     fn over_shortening_rejected() {
         let code = demo_code();
-        let enc = Encoder::new(&code).unwrap();
+        let enc = Arc::new(Encoder::new(&code).unwrap());
         let k = enc.dimension();
         assert!(ShortenedCode::new(code, enc, k).is_err());
     }

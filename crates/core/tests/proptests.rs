@@ -326,3 +326,51 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The code-spec grammar round trips: for every family and random
+    /// valid parameters, `parse(display(spec)) == spec`, and display is a
+    /// fixpoint (canonical).
+    #[test]
+    fn code_spec_roundtrips(
+        family_idx in 0usize..4,
+        rate_idx in 0usize..3,
+        m in 8usize..600,
+        base_demo in any::<bool>(),
+        k in 1usize..8000,
+    ) {
+        use ldpc_core::codes::ar4ja::Ar4jaRate;
+        use ldpc_core::{CodeSpec, ShortenedBase};
+        let spec = match family_idx {
+            0 => CodeSpec::Demo,
+            1 => CodeSpec::C2,
+            2 => {
+                let rate = [Ar4jaRate::Half, Ar4jaRate::TwoThirds, Ar4jaRate::FourFifths][rate_idx];
+                CodeSpec::Ar4ja { rate, k: m * (rate.var_blocks() - 3) }
+            }
+            _ => CodeSpec::Shortened {
+                base: if base_demo { ShortenedBase::Demo } else { ShortenedBase::C2 },
+                k,
+            },
+        };
+        let rendered = spec.to_string();
+        let reparsed = CodeSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(reparsed, spec, "{} did not round trip", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Unknown or malformed code specs never panic and always explain
+    /// themselves.
+    #[test]
+    fn malformed_code_specs_error_actionably(junk_idx in 0usize..6) {
+        let junk = ["zz", "-1", "@", ":", "k=", "r=9/9"][junk_idx];
+        let err = ldpc_core::CodeSpec::parse(&format!("ar4ja:{junk}"))
+            .expect_err("malformed ar4ja parameters accepted");
+        prop_assert!(!err.to_string().is_empty());
+        let err = ldpc_core::CodeSpec::parse(&format!("{junk}-code")).unwrap_err();
+        prop_assert!(!err.to_string().is_empty());
+    }
+}

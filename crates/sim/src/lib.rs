@@ -6,9 +6,13 @@
 //!
 //! * [`MonteCarloConfig`] — one operating point: Eb/N0, iteration budget,
 //!   stopping rules, seeding, thread count;
-//! * [`run_point_spec`] — the declarative front door: simulate one point
-//!   with any decoder named by a [`DecoderSpec`]
-//!   (`"nms:1.25@batch=8"`, `"gallager-b@bitslice"`, …);
+//! * [`Scenario`] — the fully declarative front door: one string names
+//!   the code, the channel, and the decoder
+//!   (`"c2 / awgn / nms:1.25"`, `"ar4ja:r=2/3 / bsc:0.02 / fixed"`), and
+//!   [`run_point_scenario`] / [`run_curve_scenario`] simulate it;
+//! * [`run_point_spec`] — any decoder named by a [`DecoderSpec`]
+//!   (`"nms:1.25@batch=8"`, `"gallager-b@bitslice"`, …) over an explicit
+//!   code, on the default AWGN channel;
 //! * [`run_point_blocks`] — the same engine with an explicit
 //!   [`BlockDecoder`] factory, for configurations the spec grammar does
 //!   not cover (alpha schedules, custom quantization);
@@ -17,11 +21,16 @@
 //! * [`PointResult`] — error counts with BER/PER accessors and Wilson
 //!   confidence intervals; [`to_csv`] renders a sweep for plotting.
 //!
+//! Every door funnels into the same worker loop, which is generic over
+//! the code's transmission profile ([`CodeHandle`]) and the channel
+//! model ([`ChannelSpec`]) — AWGN is the default, not a hardcode.
+//!
 //! The historical per-API entry points [`run_point`],
 //! [`run_point_batched`], [`run_point_bitsliced`], and [`run_curve`]
 //! remain as thin deprecated shims over the same engine; their counts
 //! are bit-identical to the corresponding spec-driven runs (pinned by
-//! tests).
+//! tests). Each shim's documentation names the exact [`run_point_spec`]
+//! call that reproduces it.
 //!
 //! # Example
 //!
@@ -51,13 +60,19 @@
 #![warn(missing_docs)]
 
 mod gain;
+mod scenario;
 
 pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
+pub use scenario::{
+    run_curve_scenario, run_curve_scenario_with, run_point_scenario, run_point_scenario_with,
+    split_spec_list, Scenario, ScenarioError,
+};
 
 use gf2::BitVec;
-use ldpc_channel::{bpsk_modulate, ebn0_to_sigma, AwgnChannel};
+use ldpc_channel::ChannelSpec;
 use ldpc_core::{
-    BatchDecoder, Batched, BlockDecoder, Decoder, DecoderSpec, Encoder, LdpcCode, PerFrame,
+    BatchDecoder, Batched, BlockDecoder, CodeHandle, Decoder, DecoderSpec, Encoder, LdpcCode,
+    PerFrame, PlainCode,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -227,9 +242,36 @@ pub fn run_point_spec(
 ///
 /// Thin deprecated shim over [`run_point_blocks`] with a per-frame
 /// [`PerFrame`] adapter: counts are bit-identical to the historical
-/// per-frame engine (block size 1). Prefer [`run_point_spec`] for
-/// registered families or [`run_point_blocks`] for custom
-/// configurations.
+/// per-frame engine (block size 1).
+///
+/// # Replacement
+///
+/// Name the decoder your factory builds as a spec string and call
+/// [`run_point_spec`] — the counts are bit-identical. For example,
+///
+/// ```
+/// # use ldpc_core::codes::small::demo_code;
+/// # use ldpc_core::{DecoderSpec, MinSumConfig, MinSumDecoder};
+/// # use ldpc_sim::{run_point, run_point_spec, MonteCarloConfig};
+/// # let code = demo_code();
+/// # let cfg = MonteCarloConfig { max_frames: 20, threads: 1, ..MonteCarloConfig::default() };
+/// # #[allow(deprecated)]
+/// let old = run_point(&code, None, &cfg, || {
+///     MinSumDecoder::new(demo_code(), MinSumConfig::normalized(1.25))
+/// });
+/// let new = run_point_spec(&code, None, &cfg, &DecoderSpec::parse("nms:1.25")?);
+/// assert_eq!(old, new);
+/// # Ok::<(), ldpc_core::SpecError>(())
+/// ```
+///
+/// The spec strings for the other families: `SumProductDecoder` → `spa`,
+/// plain `MinSumDecoder` → `ms`, offset → `oms:β`, `FixedDecoder` →
+/// `fixed`, `LayeredMinSumDecoder` → `layered:α`,
+/// `SelfCorrectedMinSumDecoder` → `self-corrected:α`,
+/// `GallagerBDecoder` → `gallager-b:t=N`, `WeightedBitFlipDecoder` →
+/// `wbf`. Configurations outside the grammar (alpha schedules, custom
+/// quantization) keep using [`run_point_blocks`] with an explicit
+/// factory.
 ///
 /// # Panics
 ///
@@ -237,7 +279,9 @@ pub fn run_point_spec(
 /// without an encoder.
 #[deprecated(
     since = "0.1.0",
-    note = "use run_point_spec (declarative) or run_point_blocks (explicit factory)"
+    note = "use run_point_spec(&code, enc, &cfg, &DecoderSpec::parse(\"nms:1.25\")?) — \
+            see the doc table for the spec string of each decoder type — \
+            or run_point_blocks for configurations outside the grammar"
 )]
 pub fn run_point<F, D>(
     code: &Arc<LdpcCode>,
@@ -261,9 +305,10 @@ where
 /// `factory` builds one decoder per worker (decoders are stateful
 /// workspaces and not shared); use [`PerFrame`] / [`Batched`] to adapt
 /// per-frame and batch decoders that are not registry-built. Every other
-/// `run_point*` entry is a thin wrapper over this function, so seed
-/// derivation and error counting are identical by construction across
-/// all of them.
+/// `run_point*` entry — including the scenario door with its non-AWGN
+/// channels and punctured/shortened codes — is a thin wrapper over the
+/// same engine loop, so seed derivation and error counting are identical
+/// by construction across all of them.
 ///
 /// # Panics
 ///
@@ -279,22 +324,66 @@ where
     F: Fn() -> B + Sync,
     B: BlockDecoder,
 {
-    assert!(cfg.max_frames > 0, "max_frames must be positive");
     if cfg.transmission == Transmission::Random {
         assert!(encoder.is_some(), "random transmission requires an encoder");
+    }
+    let handle = PlainCode::new(Arc::clone(code));
+    // Error counting positions: systematic info bits if we know them.
+    let info_positions: Vec<u32> = match encoder {
+        Some(enc) => enc.info_positions().to_vec(),
+        None => (0..code.n() as u32).collect(),
+    };
+    run_point_engine(
+        &handle,
+        encoder,
+        &info_positions,
+        &ChannelSpec::awgn(),
+        cfg,
+        factory,
+    )
+}
+
+/// The shared worker loop behind every `run_point*` door, generic over
+/// the code's transmission profile and the channel model.
+///
+/// Per worker `t`: a deterministic seed is derived from `cfg.seed`, the
+/// channel is built from `channel_spec` at the operating point
+/// (`cfg.ebn0_db`, `handle.rate()`), and frames are claimed in blocks of
+/// the decoder's preferred granularity. Each frame's transmitted bits go
+/// through the channel; the received LLRs are expanded back to
+/// full-length decoder input by the handle (identity for plain codes,
+/// known-bit certainty for shortened positions, erasures for punctured
+/// ones). Errors are counted over `count_positions`.
+pub(crate) fn run_point_engine<F, B>(
+    handle: &dyn CodeHandle,
+    encoder: Option<&Arc<Encoder>>,
+    count_positions: &[u32],
+    channel_spec: &ChannelSpec,
+    cfg: &MonteCarloConfig,
+    factory: F,
+) -> PointResult
+where
+    F: Fn() -> B + Sync,
+    B: BlockDecoder,
+{
+    assert!(cfg.max_frames > 0, "max_frames must be positive");
+    let n = handle.code().n();
+    let tx_len = handle.transmitted_len();
+    if cfg.transmission == Transmission::Random {
+        assert!(encoder.is_some(), "random transmission requires an encoder");
+        assert_eq!(
+            tx_len, n,
+            "random transmission requires a code that transmits every position \
+             (punctured/shortened scenarios simulate the all-zero codeword)"
+        );
     }
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         cfg.threads
     };
-    let sigma = ebn0_to_sigma(cfg.ebn0_db, code.rate());
-    // Error counting positions: systematic info bits if we know them.
-    let info_positions: Vec<u32> = match encoder {
-        Some(enc) => enc.info_positions().to_vec(),
-        None => (0..code.n() as u32).collect(),
-    };
-    let info_bits_per_frame = info_positions.len() as u64;
+    let rate = handle.rate();
+    let info_bits_per_frame = count_positions.len() as u64;
 
     let frames_claimed = AtomicU64::new(0);
     let frames_done = AtomicU64::new(0);
@@ -306,28 +395,28 @@ where
     std::thread::scope(|scope| {
         for t in 0..threads {
             let factory = &factory;
-            let info_positions = &info_positions;
+            let handle = &handle;
+            let count_positions = &count_positions;
             let frames_claimed = &frames_claimed;
             let frames_done = &frames_done;
             let bit_errors = &bit_errors;
             let frame_errors = &frame_errors;
             let undetected = &undetected;
             let total_iterations = &total_iterations;
-            let code = Arc::clone(code);
             let encoder = encoder.cloned();
             let cfg = cfg.clone();
             scope.spawn(move || {
                 let mut decoder = factory();
                 let block = decoder.block_frames() as u64;
                 assert!(block > 0, "decoder claims zero frames per block");
-                let n = code.n();
                 // Disjoint deterministic streams per worker.
                 let worker_seed = cfg
                     .seed
                     .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-                let mut channel = AwgnChannel::new(sigma, worker_seed);
+                let mut channel = channel_spec.build(cfg.ebn0_db, rate, worker_seed);
                 let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
                 let zero = BitVec::zeros(n);
+                let zero_tx = BitVec::zeros(tx_len);
                 let mut llrs: Vec<f32> = Vec::with_capacity(block as usize * n);
                 let mut codewords: Vec<BitVec> = Vec::with_capacity(block as usize);
                 loop {
@@ -355,15 +444,22 @@ where
                                 enc.encode(&msg).expect("message length matches dimension")
                             }
                         };
-                        let symbols = bpsk_modulate(&codeword);
-                        llrs.extend(channel.llrs(&symbols));
+                        // With a partial transmission profile only the
+                        // all-zero codeword is simulated (asserted above),
+                        // so the transmitted bits are all zero too.
+                        let received = if tx_len == n {
+                            channel.transmit_codeword(&codeword)
+                        } else {
+                            channel.transmit_codeword(&zero_tx)
+                        };
+                        handle.expand_llrs_into(&received, &mut llrs);
                         codewords.push(codeword);
                     }
                     let results = decoder.decode_block(&llrs, cfg.max_iterations);
                     for (out, codeword) in results.iter().zip(&codewords) {
                         total_iterations.fetch_add(u64::from(out.iterations), Ordering::Relaxed);
                         let mut errors_this_frame = 0u64;
-                        for &pos in info_positions.iter() {
+                        for &pos in count_positions.iter() {
                             if out.hard_decision.get(pos as usize) != codeword.get(pos as usize) {
                                 errors_this_frame += 1;
                             }
@@ -418,13 +514,26 @@ where
 ///   (more frames simulated), though both remain valid Monte-Carlo
 ///   estimates.
 ///
+/// # Replacement
+///
+/// Append `@batch=N` to the decoder's spec string and call
+/// [`run_point_spec`] — bit-identical counts. A call
+/// `run_point_batched(&code, None, &cfg, || BatchFixedDecoder::new(code(),
+/// FixedConfig::default(), 8))` is reproduced exactly by
+/// `run_point_spec(&code, None, &cfg, &DecoderSpec::parse("fixed@batch=8")?)`,
+/// and a normalized min-sum batch by
+/// `DecoderSpec::parse("nms:1.25@batch=8")?` (likewise `ms@batch=N`,
+/// `oms:β@batch=N`).
+///
 /// # Panics
 ///
 /// Panics if `max_frames == 0`, or if [`Transmission::Random`] is
 /// requested without an encoder.
 #[deprecated(
     since = "0.1.0",
-    note = "use run_point_spec with @batch=N or run_point_blocks with a Batched adapter"
+    note = "use run_point_spec(&code, enc, &cfg, &DecoderSpec::parse(\"fixed@batch=8\")?) \
+            (or nms:α@batch=N / ms@batch=N / oms:β@batch=N), \
+            or run_point_blocks with a Batched adapter"
 )]
 pub fn run_point_batched<F, D>(
     code: &Arc<LdpcCode>,
@@ -455,13 +564,21 @@ where
 /// [`run_point_batched`] (partial final block, between-block stop checks)
 /// apply unchanged.
 ///
+/// # Replacement
+///
+/// A call `run_point_bitsliced(&code, None, &cfg, 3)` is reproduced bit
+/// for bit by
+/// `run_point_spec(&code, None, &cfg, &DecoderSpec::parse("gallager-b:t=3@bitslice")?)`
+/// — substitute the flip threshold into `t=N`.
+///
 /// # Panics
 ///
 /// Panics if `max_frames == 0`, if [`Transmission::Random`] is requested
 /// without an encoder, or if `flip_threshold` is zero.
 #[deprecated(
     since = "0.1.0",
-    note = "use run_point_spec with gallager-b:t=N@bitslice"
+    note = "use run_point_spec(&code, enc, &cfg, \
+            &DecoderSpec::parse(\"gallager-b:t=N@bitslice\")?) with your flip threshold as t=N"
 )]
 pub fn run_point_bitsliced(
     code: &Arc<LdpcCode>,
@@ -527,10 +644,16 @@ pub fn run_curve_spec(
 /// Thin deprecated shim over [`run_curve_blocks`] with a [`PerFrame`]
 /// adapter — the same migration story as [`run_point`]: old call sites
 /// keep compiling (with a deprecation note) and produce bit-identical
-/// results.
+/// results. The replacement is [`run_curve_spec`] with the factory's
+/// decoder named as a spec string (see the table in [`run_point`]'s
+/// docs): `run_curve(&code, None, &pts, &cfg, || MinSumDecoder::new(...,
+/// MinSumConfig::normalized(1.25)))` becomes
+/// `run_curve_spec(&code, None, &pts, &cfg, &DecoderSpec::parse("nms:1.25")?)`.
 #[deprecated(
     since = "0.1.0",
-    note = "use run_curve_spec (declarative) or run_curve_blocks (explicit factory)"
+    note = "use run_curve_spec(&code, enc, &points, &cfg, &DecoderSpec::parse(\"nms:1.25\")?) — \
+            the spec string names the decoder your factory built — \
+            or run_curve_blocks (explicit factory)"
 )]
 pub fn run_curve<F, D>(
     code: &Arc<LdpcCode>,

@@ -1,0 +1,457 @@
+//! The scenario front door: one string names a complete experiment.
+//!
+//! A [`Scenario`] composes the three spec grammars of the workspace —
+//! [`CodeSpec`] (`ldpc-core`), [`ChannelSpec`] (`ldpc-channel`), and
+//! [`DecoderSpec`] (`ldpc-core`) — into a single serializable record:
+//!
+//! ```text
+//!   <code> / <channel> / <decoder>
+//! ```
+//!
+//! ```
+//! use ldpc_sim::Scenario;
+//!
+//! let sc = Scenario::parse("c2 / awgn / nms:1.25")?;
+//! assert_eq!(sc.to_string(), "c2 / awgn / nms:1.25");
+//!
+//! // Parameters nest freely; the separator is a slash with whitespace
+//! // around it, so AR4JA's rate fraction is unambiguous.
+//! let sc = Scenario::parse("ar4ja:r=2/3,k=1024 / bsc:0.02 / fixed@batch=8")?;
+//! assert_eq!(sc.code.to_string(), "ar4ja:r=2/3");
+//! # Ok::<(), ldpc_sim::ScenarioError>(())
+//! ```
+//!
+//! [`run_point_scenario`] and [`run_curve_scenario`] drive the same
+//! Monte-Carlo engine as every other door in this crate: the code spec
+//! builds a [`CodeHandle`] (transmission profile included), the channel
+//! spec builds one [`Channel`](ldpc_channel::Channel) per worker, and
+//! the decoder spec builds one [`BlockDecoder`](ldpc_core::BlockDecoder)
+//! per worker. For plain codes on `awgn`, single-threaded counts are
+//! bit-identical to [`run_point_spec`](crate::run_point_spec) (pinned by
+//! tests) — the scenario door adds scope, not a second engine.
+//!
+//! Scenario runs simulate the all-zero codeword (standard practice for
+//! linear codes on symmetric channels; also the only transmission the
+//! punctured/shortened profiles support). Error counting runs over the
+//! transmitted positions.
+//!
+//! The full grammar, the registry tables, and copy-pasteable recipes
+//! live in `docs/scenarios.md`.
+
+use crate::{run_point_engine, MonteCarloConfig, PointResult};
+use ldpc_channel::{ChannelSpec, ChannelSpecError};
+use ldpc_core::{CodeHandle, CodeSpec, CodeSpecError, DecoderSpec, SpecError};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A complete, serializable experiment description: code × channel ×
+/// decoder.
+///
+/// Parse one from `"<code> / <channel> / <decoder>"` (or assemble the
+/// three specs directly — the fields are public). [`Display`](fmt::Display)
+/// renders the canonical form of each part joined by `" / "`, and
+/// `parse(display(s)) == s` for every valid scenario (proptested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// What is transmitted: the code and its transmission profile.
+    pub code: CodeSpec,
+    /// What it is transmitted over.
+    pub channel: ChannelSpec,
+    /// What decodes it.
+    pub decoder: DecoderSpec,
+}
+
+impl Scenario {
+    /// Parses a scenario string — alias of the [`FromStr`] impl.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] naming the offending part (code,
+    /// channel, or decoder) with that grammar's own actionable message.
+    pub fn parse(s: &str) -> Result<Self, ScenarioError> {
+        s.parse()
+    }
+
+    /// Builds the code handle of this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Code`] if the code spec cannot be built
+    /// (e.g. a `shortened:` k at or above the base dimension).
+    pub fn build_code(&self) -> Result<Arc<dyn CodeHandle>, ScenarioError> {
+        self.code.build().map_err(ScenarioError::Code)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {}", self.code, self.channel, self.decoder)
+    }
+}
+
+/// Splits a scenario string on standalone slashes (whitespace on at
+/// least one side), so `ar4ja:r=1/2` survives intact. A compact string
+/// with no standalone slash falls back to splitting on every slash —
+/// fine for `c2/awgn/nms`, rejected with a hint otherwise.
+fn split_parts(s: &str) -> Vec<&str> {
+    let bytes = s.as_bytes();
+    let mut parts = Vec::new();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'/' {
+            continue;
+        }
+        let space_before = i > 0 && bytes[i - 1].is_ascii_whitespace();
+        let space_after = i + 1 < bytes.len() && bytes[i + 1].is_ascii_whitespace();
+        if space_before || space_after {
+            parts.push(s[start..i].trim());
+            start = i + 1;
+        }
+    }
+    parts.push(s[start..].trim());
+    if parts.len() == 1 && s.matches('/').count() == 2 {
+        return s.split('/').map(str::trim).collect();
+    }
+    parts
+}
+
+impl FromStr for Scenario {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        let parts = split_parts(s.trim());
+        if parts.len() != 3 {
+            return Err(ScenarioError::Shape { found: parts.len() });
+        }
+        Ok(Scenario {
+            code: parts[0].parse().map_err(ScenarioError::Code)?,
+            channel: parts[1].parse().map_err(ScenarioError::Channel)?,
+            decoder: parts[2].parse().map_err(ScenarioError::Decoder)?,
+        })
+    }
+}
+
+/// Error produced while parsing or building a [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The string did not split into exactly code / channel / decoder.
+    Shape {
+        /// How many parts were found.
+        found: usize,
+    },
+    /// The code part failed to parse or build.
+    Code(CodeSpecError),
+    /// The channel part failed to parse.
+    Channel(ChannelSpecError),
+    /// The decoder part failed to parse.
+    Decoder(SpecError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape { found } => write!(
+                f,
+                "a scenario is exactly `code / channel / decoder` \
+                 (e.g. \"c2 / awgn / nms:1.25\"), but {found} part(s) were found; \
+                 separate the parts with ` / ` (slash needs whitespace when a spec \
+                 itself contains one, as in ar4ja:r=1/2)"
+            ),
+            Self::Code(e) => write!(f, "in the code part: {e}"),
+            Self::Channel(e) => write!(f, "in the channel part: {e}"),
+            Self::Decoder(e) => write!(f, "in the decoder part: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Simulates one Eb/N0 point of a [`Scenario`] — the fully declarative
+/// door of the one Monte-Carlo engine.
+///
+/// The code handle is built once; each worker thread builds its own
+/// channel (from the scenario's channel spec at `cfg.ebn0_db` and the
+/// code's effective rate, with the worker's derived seed) and its own
+/// decoder. `cfg.ebn0_db` sets σ for the Gaussian models; a `bsc:p`
+/// channel's severity is its fixed crossover probability, so Eb/N0 is
+/// bookkeeping there.
+///
+/// Error counting runs over the transmitted positions, and
+/// `cfg.transmission` must be [`Transmission::AllZero`](crate::Transmission::AllZero) (the engine
+/// asserts; punctured and shortened profiles have no random-codeword
+/// path).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Code`] if the code spec cannot be built.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_frames == 0` or `cfg.transmission` is
+/// [`Transmission::Random`](crate::Transmission::Random) for a code that does not transmit every
+/// position.
+pub fn run_point_scenario(
+    scenario: &Scenario,
+    cfg: &MonteCarloConfig,
+) -> Result<PointResult, ScenarioError> {
+    let handle = scenario.build_code()?;
+    Ok(run_point_scenario_with(&handle, scenario, cfg))
+}
+
+/// [`run_point_scenario`] over an already-built code handle (normally
+/// `scenario.build_code()`), so grid sweeps can build each code once
+/// and reuse it across channels and decoders. Only the scenario's
+/// channel and decoder specs are consulted; the code comes from
+/// `handle`.
+pub fn run_point_scenario_with(
+    handle: &Arc<dyn CodeHandle>,
+    scenario: &Scenario,
+    cfg: &MonteCarloConfig,
+) -> PointResult {
+    let positions = handle.transmitted_positions();
+    run_point_engine(
+        handle.as_ref(),
+        None,
+        &positions,
+        &scenario.channel,
+        cfg,
+        || scenario.decoder.build(handle.code()),
+    )
+}
+
+/// Sweeps a list of Eb/N0 points of a [`Scenario`] — the declarative
+/// counterpart of [`run_curve_blocks`](crate::run_curve_blocks), with
+/// the same per-point seed derivation (`base.seed + i · 0x5151_5151`),
+/// so a scenario sweep's point `i` reproduces a
+/// [`run_point_scenario`] run with that point's config exactly.
+///
+/// The code is built once for the whole curve.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Code`] if the code spec cannot be built.
+pub fn run_curve_scenario(
+    scenario: &Scenario,
+    ebn0_points: &[f64],
+    base: &MonteCarloConfig,
+) -> Result<Vec<PointResult>, ScenarioError> {
+    let handle = scenario.build_code()?;
+    Ok(run_curve_scenario_with(
+        &handle,
+        scenario,
+        ebn0_points,
+        base,
+    ))
+}
+
+/// [`run_curve_scenario`] over an already-built code handle — the
+/// curve-shaped counterpart of [`run_point_scenario_with`], with the
+/// same per-point seed derivation.
+pub fn run_curve_scenario_with(
+    handle: &Arc<dyn CodeHandle>,
+    scenario: &Scenario,
+    ebn0_points: &[f64],
+    base: &MonteCarloConfig,
+) -> Vec<PointResult> {
+    ebn0_points
+        .iter()
+        .enumerate()
+        .map(|(i, &ebn0_db)| {
+            let cfg = MonteCarloConfig {
+                ebn0_db,
+                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
+                ..base.clone()
+            };
+            run_point_scenario_with(handle, scenario, &cfg)
+        })
+        .collect()
+}
+
+/// Splits a comma-separated list of spec strings, re-attaching
+/// `key=value` continuations to the previous element so parameterized
+/// code specs survive: `demo,ar4ja:r=2/3,k=1024` splits into `demo` and
+/// `ar4ja:r=2/3,k=1024`, because `k=1024` is a parameter continuation,
+/// not a spec.
+///
+/// This is the one list-splitting rule of the workspace: `ldpc-tool`'s
+/// `sweep --codes/--channels/--decoders` flags use it, and the docs
+/// link-check validates the cookbook's recipes with it — so documented
+/// commands and the CLI can never disagree about where one spec ends.
+///
+/// ```
+/// assert_eq!(
+///     ldpc_sim::split_spec_list("demo,ar4ja:r=2/3,k=1024"),
+///     vec!["demo".to_string(), "ar4ja:r=2/3,k=1024".to_string()]
+/// );
+/// ```
+pub fn split_spec_list(list: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for token in list.split(',') {
+        let continuation = match token.split_once('=') {
+            Some((key, _)) => !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric()),
+            None => false,
+        };
+        match out.last_mut() {
+            Some(prev) if continuation => {
+                prev.push(',');
+                prev.push_str(token);
+            }
+            _ => out.push(token.to_string()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_point_spec, Transmission};
+
+    fn quick_cfg(ebn0_db: f64) -> MonteCarloConfig {
+        MonteCarloConfig {
+            ebn0_db,
+            max_frames: 200,
+            target_frame_errors: 0,
+            max_iterations: 20,
+            seed: 11,
+            threads: 1,
+            transmission: Transmission::AllZero,
+        }
+    }
+
+    #[test]
+    fn parses_and_displays_canonically() {
+        let sc = Scenario::parse("c2 / awgn / nms:1.25").unwrap();
+        assert_eq!(sc.code, CodeSpec::C2);
+        assert_eq!(sc.channel, ChannelSpec::awgn());
+        assert_eq!(sc.to_string(), "c2 / awgn / nms:1.25");
+
+        // Compact form without embedded slashes.
+        let sc = Scenario::parse("demo/bsc:0.02/fixed").unwrap();
+        assert_eq!(sc.to_string(), "demo / bsc:0.02 / fixed");
+
+        // Embedded slash in the code part survives.
+        let sc = Scenario::parse("ar4ja:r=2/3,k=2048 / rayleigh / gallager-b@bitslice").unwrap();
+        assert_eq!(
+            sc.to_string(),
+            "ar4ja:r=2/3,k=2048 / rayleigh / gallager-b@bitslice"
+        );
+        let again = Scenario::parse(&sc.to_string()).unwrap();
+        assert_eq!(again, sc);
+    }
+
+    #[test]
+    fn errors_name_the_offending_part() {
+        let err = Scenario::parse("c2 / awgn").unwrap_err();
+        assert!(
+            err.to_string().contains("code / channel / decoder"),
+            "{err}"
+        );
+
+        let err = Scenario::parse("zeta / awgn / nms").unwrap_err();
+        assert!(err.to_string().contains("code part"), "{err}");
+        assert!(err.to_string().contains("known families"), "{err}");
+
+        let err = Scenario::parse("c2 / zeta / nms").unwrap_err();
+        assert!(err.to_string().contains("channel part"), "{err}");
+
+        let err = Scenario::parse("c2 / awgn / zeta").unwrap_err();
+        assert!(err.to_string().contains("decoder part"), "{err}");
+
+        // Compact form with an embedded slash cannot split cleanly.
+        let err = Scenario::parse("ar4ja:r=1/2/awgn/nms").unwrap_err();
+        assert!(err.to_string().contains("whitespace"), "{err}");
+    }
+
+    #[test]
+    fn plain_awgn_scenario_matches_run_point_spec_exactly() {
+        // The scenario door is the same engine: for a plain code on awgn
+        // the single-threaded counts are bit-identical to the decoder-only
+        // door.
+        let cfg = quick_cfg(2.0);
+        let sc = Scenario::parse("demo / awgn / nms:1.25").unwrap();
+        let via_scenario = run_point_scenario(&sc, &cfg).unwrap();
+        let code = ldpc_core::codes::small::demo_code();
+        let via_spec = run_point_spec(&code, None, &cfg, &sc.decoder);
+        assert_eq!(via_scenario, via_spec);
+    }
+
+    #[test]
+    fn bsc_and_rayleigh_scenarios_run_and_are_reproducible() {
+        for s in [
+            "demo / bsc:0.02 / nms:1.25",
+            "demo / rayleigh / fixed",
+            "demo / awgn@quant=5 / fixed@batch=8",
+        ] {
+            let sc = Scenario::parse(s).unwrap();
+            let cfg = quick_cfg(4.0);
+            let a = run_point_scenario(&sc, &cfg).unwrap();
+            let b = run_point_scenario(&sc, &cfg).unwrap();
+            assert_eq!(a, b, "{s}");
+            assert_eq!(a.frames, 200, "{s}");
+            assert!(a.ber() <= 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn shortened_scenario_counts_only_transmitted_positions() {
+        let sc = Scenario::parse("shortened:demo,k=120 / awgn / nms:1.25").unwrap();
+        let handle = sc.build_code().unwrap();
+        let point = run_point_scenario(&sc, &quick_cfg(3.0)).unwrap();
+        assert_eq!(point.info_bits_per_frame as usize, handle.transmitted_len());
+    }
+
+    #[test]
+    fn ar4ja_scenario_decodes_cleanly_at_high_snr() {
+        let sc = Scenario::parse("ar4ja:r=1/2,k=256 / awgn / nms:1.25").unwrap();
+        let cfg = MonteCarloConfig {
+            max_frames: 60,
+            max_iterations: 40,
+            ..quick_cfg(6.0)
+        };
+        let point = run_point_scenario(&sc, &cfg).unwrap();
+        assert_eq!(point.frames, 60);
+        assert_eq!(point.frame_errors, 0, "per={}", point.per());
+    }
+
+    #[test]
+    fn quantized_channel_changes_counts_but_not_frames() {
+        let cfg = quick_cfg(2.0);
+        let exact =
+            run_point_scenario(&Scenario::parse("demo / awgn / fixed").unwrap(), &cfg).unwrap();
+        let coarse = run_point_scenario(
+            &Scenario::parse("demo / awgn@quant=3 / fixed").unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(exact.frames, coarse.frames);
+        // 3-bit channel LLRs are a measurably worse front end at 2 dB.
+        assert!(coarse.bit_errors >= exact.bit_errors);
+    }
+
+    #[test]
+    fn curve_points_match_individual_runs() {
+        let sc = Scenario::parse("demo / bsc:0.04 / nms:1.25").unwrap();
+        let base = quick_cfg(3.0);
+        let points = run_curve_scenario(&sc, &[2.0, 4.0], &base).unwrap();
+        assert_eq!(points.len(), 2);
+        let second = run_point_scenario(
+            &sc,
+            &MonteCarloConfig {
+                ebn0_db: 4.0,
+                seed: base.seed.wrapping_add(0x5151_5151),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(points[1], second);
+    }
+
+    #[test]
+    fn bad_code_build_is_an_error_not_a_panic() {
+        let sc = Scenario::parse("shortened:demo,k=9999 / awgn / nms").unwrap();
+        let err = run_point_scenario(&sc, &quick_cfg(3.0)).expect_err("oversized k");
+        assert!(err.to_string().contains("dimension"), "{err}");
+    }
+}

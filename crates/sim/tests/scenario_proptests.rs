@@ -1,0 +1,100 @@
+//! Property-based tests of the scenario grammar: `Scenario::from_str` /
+//! `Display` round-trip across random combinations of the three
+//! underlying spec grammars (acceptance criterion of the scenario front
+//! door).
+
+use ldpc_channel::{ChannelKind, ChannelSpec};
+use ldpc_core::codes::ar4ja::Ar4jaRate;
+use ldpc_core::{CodeSpec, DecoderSpec, ShortenedBase};
+use ldpc_sim::Scenario;
+use proptest::prelude::*;
+
+fn code_spec(family_idx: usize, rate_idx: usize, m: usize, base_demo: bool, k: usize) -> CodeSpec {
+    match family_idx {
+        0 => CodeSpec::Demo,
+        1 => CodeSpec::C2,
+        2 => {
+            let rate = [Ar4jaRate::Half, Ar4jaRate::TwoThirds, Ar4jaRate::FourFifths][rate_idx];
+            CodeSpec::Ar4ja {
+                rate,
+                k: m * (rate.var_blocks() - 3),
+            }
+        }
+        _ => CodeSpec::Shortened {
+            base: if base_demo {
+                ShortenedBase::Demo
+            } else {
+                ShortenedBase::C2
+            },
+            k,
+        },
+    }
+}
+
+fn channel_spec(family_idx: usize, p: f64, quant: Option<u32>) -> ChannelSpec {
+    let kind = match family_idx {
+        0 => ChannelKind::Awgn,
+        1 => ChannelKind::Bsc { p },
+        _ => ChannelKind::Rayleigh,
+    };
+    ChannelSpec { kind, quant }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(scenario)) == scenario` for random valid scenarios,
+    /// and display is canonical (a fixpoint). This composes all three
+    /// grammars, so an ar4ja rate fraction (`r=2/3`), a bsc crossover,
+    /// and a decoder modifier must all survive the ` / ` joins.
+    #[test]
+    fn scenario_roundtrips(
+        code_idx in 0usize..4,
+        rate_idx in 0usize..3,
+        m in 8usize..600,
+        base_demo in any::<bool>(),
+        k in 1usize..8000,
+        chan_idx in 0usize..3,
+        p in 0.001f64..0.499,
+        quantized in any::<bool>(),
+        quant_bits in 2u32..16,
+        dec_idx in 0usize..DecoderSpec::family_names().len(),
+        alpha in 1.0f32..4.0,
+        batched in any::<bool>(),
+        batch in 1usize..65,
+    ) {
+        let dec_name = DecoderSpec::family_names()[dec_idx];
+        let head = match dec_name {
+            "nms" | "layered" | "self-corrected" => format!("{dec_name}:{alpha}"),
+            other => other.to_string(),
+        };
+        let mut decoder = DecoderSpec::parse(&head).unwrap();
+        if batched {
+            if decoder.family.supports_batch() {
+                decoder = decoder.with_batch(batch).unwrap();
+            } else if decoder.family.supports_bitslice() {
+                decoder = decoder.with_bitslice().unwrap();
+            }
+        }
+        let scenario = Scenario {
+            code: code_spec(code_idx, rate_idx, m, base_demo, k),
+            channel: channel_spec(chan_idx, p, quantized.then_some(quant_bits)),
+            decoder,
+        };
+        let rendered = scenario.to_string();
+        let reparsed: Scenario = rendered
+            .parse()
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(&reparsed, &scenario, "{} did not round trip", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Malformed scenarios never panic: wrong part counts and per-part
+    /// garbage all surface as errors naming the offending part.
+    #[test]
+    fn malformed_scenarios_error_actionably(junk_idx in 0usize..5) {
+        let junk = ["zz", "", "a / b", "c2 / awgn / nms / extra", "ar4ja:r=1/2/awgn/nms"][junk_idx];
+        let err = Scenario::parse(junk).expect_err("malformed scenario accepted");
+        prop_assert!(!err.to_string().is_empty());
+    }
+}

@@ -12,7 +12,8 @@
 //!   encoder, and the decoder family (sum-product, normalized min-sum,
 //!   bit-accurate fixed point, layered), plus the frame-batched decoders
 //!   that mirror the architecture's frames-per-word packing;
-//! * [`channel`] — BPSK/AWGN channel and LLR demapping;
+//! * [`channel`] — BPSK modulation, the AWGN/BSC/Rayleigh channel models
+//!   behind the object-safe `Channel` trait, and LLR demapping;
 //! * [`hwsim`] — the paper's generic parallel architecture: cycle-accurate
 //!   simulator, throughput model (Table 1), and FPGA resource model
 //!   (Tables 2–3);
@@ -50,6 +51,13 @@
 //! available for configurations outside the spec grammar; they adapt
 //! into the same trait via [`PerFrame`](core::PerFrame) /
 //! [`Batched`](core::Batched).
+//!
+//! Codes and channels have the same declarative grammar
+//! ([`CodeSpec`](core::CodeSpec), [`ChannelSpec`](channel::ChannelSpec)),
+//! and one string composes all three into a complete experiment — a
+//! [`Scenario`](sim::Scenario) like `"c2 / awgn / nms:1.25"` — driven
+//! end to end by [`run_point_scenario`](sim::run_point_scenario). The
+//! grammar and a recipe book live in `docs/scenarios.md`.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.

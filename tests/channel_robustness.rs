@@ -57,7 +57,7 @@ fn shortened_code_over_awgn_channel() {
     // Full chain: shortened encode -> AWGN on transmitted bits -> expand
     // with known-bit certainty -> decode -> extract info.
     let code = demo_code();
-    let enc = Encoder::new(&code).unwrap();
+    let enc = std::sync::Arc::new(Encoder::new(&code).unwrap());
     let short = ShortenedCode::new(code.clone(), enc, 50).unwrap();
     let info: Vec<u8> = (0..short.info_len()).map(|i| (i % 2) as u8).collect();
     let cw = short.encode(&info).unwrap();

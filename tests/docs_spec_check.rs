@@ -1,0 +1,250 @@
+//! Docs link-check: every spec string quoted in README.md and
+//! docs/scenarios.md must actually parse.
+//!
+//! Two scans per file:
+//!
+//! 1. **Inline code spans** (`` `...` ``): a span whose head keyword
+//!    belongs to one of the three grammars (code, channel, decoder — or a
+//!    full `a / b / c` scenario) is parsed with that grammar. Spans with
+//!    uppercase letters or placeholder characters (`N`, `<...>`, `…`) are
+//!    prose, not specs, and are skipped.
+//! 2. **Command lines** (fenced blocks and inline spans): every value
+//!    following a `--code/--channel/--decoder` flag or their plural list
+//!    forms is split like `ldpc-tool` splits it and parsed spec by spec.
+//!
+//! A recipe in the cookbook can therefore never drift ahead of (or
+//! behind) the grammars: registering a family without documenting it is
+//! caught by the registry tables' parse check, and documenting a spec
+//! that no longer parses fails here with the offending file and string.
+
+use ccsds_ldpc::channel::ChannelSpec;
+use ccsds_ldpc::core::{CodeSpec, DecoderSpec};
+// The list splitter is the exact one `ldpc-tool sweep` uses, so the
+// recipes are validated against the real CLI splitting rule.
+use ccsds_ldpc::sim::{split_spec_list, Scenario};
+
+const DOC_FILES: &[&str] = &["README.md", "docs/scenarios.md"];
+
+/// Words that are clearly not spec strings: placeholders and prose.
+fn is_placeholder(s: &str) -> bool {
+    s.is_empty()
+        || s.chars().any(|c| c.is_ascii_uppercase())
+        || s.contains('<')
+        || s.contains('…')
+        || s.contains("...")
+}
+
+/// The head keyword of a candidate (everything before `:`/`@`).
+fn head(s: &str) -> &str {
+    &s[..s.find([':', '@']).unwrap_or(s.len())]
+}
+
+const CODE_KEYWORDS: &[&str] = &[
+    "demo",
+    "small",
+    "c2",
+    "ccsds-c2",
+    "ar4ja",
+    "shortened",
+    "short",
+];
+const CHANNEL_KEYWORDS: &[&str] = &[
+    "awgn",
+    "gaussian",
+    "bsc",
+    "binary-symmetric",
+    "rayleigh",
+    "fading",
+];
+const DECODER_KEYWORDS: &[&str] = &[
+    "spa",
+    "sum-product",
+    "ms",
+    "min-sum",
+    "nms",
+    "oms",
+    "fixed",
+    "layered",
+    "self-corrected",
+    "scms",
+    "gallager-b",
+    "gb",
+    "wbf",
+    "weighted-bit-flip",
+];
+
+/// Parses `candidate` with whichever grammar its head keyword belongs
+/// to; returns a failure description, or `None` if it parsed (or is not
+/// a spec at all).
+fn check_candidate(candidate: &str) -> Option<String> {
+    let candidate = candidate.trim();
+    if is_placeholder(candidate) {
+        return None;
+    }
+    if candidate.contains(" / ") {
+        return match Scenario::parse(candidate) {
+            Ok(_) => None,
+            Err(e) => Some(format!("scenario {candidate:?}: {e}")),
+        };
+    }
+    if candidate.contains(' ') {
+        return None; // prose, not a spec
+    }
+    let head = head(candidate);
+    if CODE_KEYWORDS.contains(&head) {
+        return CodeSpec::parse(candidate)
+            .err()
+            .map(|e| format!("code spec {candidate:?}: {e}"));
+    }
+    if CHANNEL_KEYWORDS.contains(&head) {
+        return ChannelSpec::parse(candidate)
+            .err()
+            .map(|e| format!("channel spec {candidate:?}: {e}"));
+    }
+    if DECODER_KEYWORDS.contains(&head) {
+        return DecoderSpec::parse(candidate)
+            .err()
+            .map(|e| format!("decoder spec {candidate:?}: {e}"));
+    }
+    None
+}
+
+/// Checks every `--code/--channel/--decoder[s]` flag value on `line`,
+/// splitting plural flags as lists.
+fn check_flag_values(line: &str, failures: &mut Vec<String>) {
+    let mut words = line.split_whitespace().peekable();
+    while let Some(word) = words.next() {
+        let (plural, relevant) = match word {
+            "--codes" | "--channels" | "--decoders" => (true, true),
+            "--code" | "--channel" | "--decoder" => (false, true),
+            _ => (false, false),
+        };
+        if !relevant {
+            continue;
+        }
+        let Some(&value) = words.peek() else { continue };
+        let value = value.trim_matches('`');
+        if is_placeholder(value) {
+            continue;
+        }
+        let grammar_of = |spec: &str| -> Option<String> {
+            match word.trim_end_matches('s') {
+                "--code" => CodeSpec::parse(spec)
+                    .err()
+                    .map(|e| format!("{word} {spec:?}: {e}")),
+                "--channel" => ChannelSpec::parse(spec)
+                    .err()
+                    .map(|e| format!("{word} {spec:?}: {e}")),
+                _ => DecoderSpec::parse(spec)
+                    .err()
+                    .map(|e| format!("{word} {spec:?}: {e}")),
+            }
+        };
+        if plural {
+            for spec in split_spec_list(value) {
+                if let Some(fail) = grammar_of(&spec) {
+                    failures.push(fail);
+                }
+            }
+        } else if let Some(fail) = grammar_of(value) {
+            failures.push(fail);
+        }
+    }
+}
+
+#[test]
+fn every_documented_spec_parses() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut failures = Vec::new();
+    let mut candidates_checked = 0usize;
+    for file in DOC_FILES {
+        let path = format!("{root}/{file}");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{file} must exist and be readable: {e}"));
+
+        // Separate fenced blocks (command recipes) from prose.
+        let mut prose = String::new();
+        let mut in_fence = false;
+        for line in text.lines() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                check_flag_values(line, &mut failures);
+            } else {
+                prose.push_str(line);
+                prose.push('\n');
+            }
+        }
+        assert!(!in_fence, "{file}: unbalanced code fence");
+
+        // Inline spans: odd segments of a backtick split.
+        for (i, span) in prose.split('`').enumerate() {
+            if i % 2 == 0 {
+                continue;
+            }
+            check_flag_values(span, &mut failures);
+            if let Some(fail) = check_candidate(span) {
+                failures.push(format!("{file}: {fail}"));
+            } else {
+                candidates_checked += 1;
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "documented specs failed to parse:\n  {}",
+        failures.join("\n  ")
+    );
+    // The scan must actually bite: the docs quote many specs.
+    assert!(
+        candidates_checked > 20,
+        "only {candidates_checked} spans scanned — docs or scanner changed shape?"
+    );
+}
+
+/// Every registry entry is documented: the cookbook's tables quote the
+/// canonical spec of each registered code, channel, and decoder family,
+/// so registering one without documenting it fails here.
+#[test]
+fn scenarios_doc_tables_cover_every_registry_entry() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let text = std::fs::read_to_string(format!("{root}/docs/scenarios.md"))
+        .expect("docs/scenarios.md must exist");
+    for code in CodeSpec::all_codes() {
+        assert!(
+            text.contains(&format!("`{code}`")),
+            "docs/scenarios.md is missing registry code `{code}`"
+        );
+    }
+    for channel in ChannelSpec::all_channels() {
+        assert!(
+            text.contains(&format!("`{channel}`")),
+            "docs/scenarios.md is missing registry channel `{channel}`"
+        );
+    }
+    for decoder in DecoderSpec::all_families() {
+        assert!(
+            text.contains(&format!("`{decoder}`")),
+            "docs/scenarios.md is missing registry decoder `{decoder}`"
+        );
+    }
+}
+
+/// README links the cookbook, and the cookbook links back to the design
+/// doc section that owns the grammar.
+#[test]
+fn cookbook_is_linked_from_the_front_doors() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let readme = std::fs::read_to_string(format!("{root}/README.md")).unwrap();
+    assert!(
+        readme.contains("docs/scenarios.md"),
+        "README.md must link docs/scenarios.md"
+    );
+    let design = std::fs::read_to_string(format!("{root}/DESIGN.md")).unwrap();
+    assert!(
+        design.contains("docs/scenarios.md"),
+        "DESIGN.md must link docs/scenarios.md"
+    );
+}
