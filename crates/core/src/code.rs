@@ -1,7 +1,7 @@
 //! The [`LdpcCode`] type tying together parity-check matrix, Tanner graph,
 //! and derived code parameters.
 
-use crate::{CodeError, TannerGraph};
+use crate::{CodeError, QcLdpcSpec, TannerGraph};
 use gf2::{BitVec, SparseMatrix};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -30,6 +30,7 @@ pub struct LdpcCode {
     h: SparseMatrix,
     graph: TannerGraph,
     rank: OnceLock<usize>,
+    qc: OnceLock<Option<QcLdpcSpec>>,
 }
 
 impl LdpcCode {
@@ -42,6 +43,32 @@ impl LdpcCode {
     pub fn from_parity_check(
         name: impl Into<String>,
         h: SparseMatrix,
+    ) -> Result<Arc<Self>, CodeError> {
+        Self::build(name, h, OnceLock::new())
+    }
+
+    /// Builds a code directly from a quasi-cyclic block description.
+    ///
+    /// The spec is expanded to the parity-check matrix and retained, so
+    /// [`qc_structure`](Self::qc_structure) returns it without running
+    /// structure recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] under the same conditions as
+    /// [`from_parity_check`](Self::from_parity_check) (e.g. a spec with an
+    /// all-zero block row or block column).
+    pub fn from_qc_spec(name: impl Into<String>, spec: QcLdpcSpec) -> Result<Arc<Self>, CodeError> {
+        let h = spec.expand();
+        let qc = OnceLock::new();
+        qc.set(Some(spec)).expect("fresh OnceLock");
+        Self::build(name, h, qc)
+    }
+
+    fn build(
+        name: impl Into<String>,
+        h: SparseMatrix,
+        qc: OnceLock<Option<QcLdpcSpec>>,
     ) -> Result<Arc<Self>, CodeError> {
         if h.rows() == 0 || h.cols() == 0 {
             return Err(CodeError::EmptyMatrix);
@@ -60,6 +87,7 @@ impl LdpcCode {
             h,
             graph,
             rank: OnceLock::new(),
+            qc,
         }))
     }
 
@@ -110,6 +138,20 @@ impl LdpcCode {
     /// Panics if `word.len() != self.n()`.
     pub fn is_codeword(&self, word: &BitVec) -> bool {
         self.h.in_nullspace(word)
+    }
+
+    /// The quasi-cyclic block structure of H, if it has one.
+    ///
+    /// Codes built with [`from_qc_spec`](Self::from_qc_spec) return their
+    /// originating spec directly; codes built from a raw matrix run
+    /// [`QcLdpcSpec::recover`] once on first call and cache the outcome.
+    /// Matrices without block-circulant form (shortened codes, AR4JA
+    /// expansions) yield `None` — callers fall back to the generic
+    /// edge-list datapath.
+    pub fn qc_structure(&self) -> Option<&QcLdpcSpec> {
+        self.qc
+            .get_or_init(|| QcLdpcSpec::recover(&self.h))
+            .as_ref()
     }
 }
 
@@ -209,5 +251,35 @@ mod tests {
         let code = LdpcCode::from_parity_check("dup", h).unwrap();
         assert_eq!(code.rank(), 2);
         assert_eq!(code.dimension(), 1);
+    }
+
+    fn qc_fixture() -> QcLdpcSpec {
+        let mut spec = QcLdpcSpec::new(5, 1, 2);
+        spec.set_block(0, 0, gf2::Circulant::new(5, &[0, 2]));
+        spec.set_block(0, 1, gf2::Circulant::new(5, &[1]));
+        spec
+    }
+
+    #[test]
+    fn from_qc_spec_carries_the_structure() {
+        let spec = qc_fixture();
+        let code = LdpcCode::from_qc_spec("qc", spec.clone()).unwrap();
+        assert_eq!(code.h(), &spec.expand());
+        assert_eq!(code.qc_structure(), Some(&spec));
+    }
+
+    #[test]
+    fn qc_structure_is_recovered_from_a_raw_matrix() {
+        let spec = qc_fixture();
+        let code = LdpcCode::from_parity_check("raw", spec.expand()).unwrap();
+        assert_eq!(code.qc_structure(), Some(&spec));
+        // Second call hits the cache, same answer.
+        assert_eq!(code.qc_structure(), Some(&spec));
+    }
+
+    #[test]
+    fn qc_structure_is_none_for_unstructured_matrices() {
+        let code = LdpcCode::from_parity_check("fixture", h_fixture()).unwrap();
+        assert_eq!(code.qc_structure(), None);
     }
 }

@@ -103,7 +103,7 @@ pub fn spec() -> QcLdpcSpec {
 pub fn code() -> Arc<LdpcCode> {
     static CODE: OnceLock<Arc<LdpcCode>> = OnceLock::new();
     CODE.get_or_init(|| {
-        LdpcCode::from_parity_check("CCSDS C2 (8176,7156)", spec().expand())
+        LdpcCode::from_qc_spec("CCSDS C2 (8176,7156)", spec())
             .expect("C2 construction is statically valid")
     })
     .clone()

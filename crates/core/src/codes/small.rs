@@ -53,8 +53,7 @@ pub fn demo_code() -> Arc<LdpcCode> {
             .map(|row| row.iter().map(|p| p.to_vec()).collect())
             .collect();
         let spec = QcLdpcSpec::from_first_rows(31, &first_rows);
-        LdpcCode::from_parity_check("demo QC (248)", spec.expand())
-            .expect("demo code is statically valid")
+        LdpcCode::from_qc_spec("demo QC (248)", spec).expect("demo code is statically valid")
     })
     .clone()
 }
@@ -99,9 +98,9 @@ pub fn demo_spec() -> QcLdpcSpec {
 pub fn random_c2_like(seed: u64, circulant_size: usize, block_cols: usize) -> Arc<LdpcCode> {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = QcLdpcSpec::random(&mut rng, circulant_size, 2, block_cols, 2);
-    LdpcCode::from_parity_check(
+    LdpcCode::from_qc_spec(
         format!("random QC (L={circulant_size}, 2x{block_cols})"),
-        spec.expand(),
+        spec,
     )
     .expect("random weight-2 QC construction is valid")
 }

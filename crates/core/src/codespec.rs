@@ -88,6 +88,18 @@ pub trait CodeHandle: Send + Sync {
     ///
     /// Panics if `received.len() != self.transmitted_len()`.
     fn expand_llrs_into(&self, received: &[f32], out: &mut Vec<f32>);
+
+    /// The quasi-cyclic block structure of the decode graph, if the
+    /// transmission profile preserves it.
+    ///
+    /// The default is `None`: shortening pins positions and AR4JA
+    /// punctures them, so the transmitted code no longer has the clean
+    /// block-circulant form even though the underlying graph may.
+    /// Handles that transmit the full codeword (e.g. [`PlainCode`])
+    /// forward to [`LdpcCode::qc_structure`].
+    fn qc_structure(&self) -> Option<&crate::QcLdpcSpec> {
+        None
+    }
 }
 
 /// A code that transmits every codeword position — the [`CodeHandle`]
@@ -128,6 +140,10 @@ impl CodeHandle for PlainCode {
             "received LLR length mismatch"
         );
         out.extend_from_slice(received);
+    }
+
+    fn qc_structure(&self) -> Option<&crate::QcLdpcSpec> {
+        self.code.qc_structure()
     }
 }
 

@@ -12,6 +12,7 @@
 //! | [`MinSumDecoder`] | `f32` | sign·min with normalization/offset | eq. (2) |
 //! | [`FixedDecoder`] | saturating integer | sign·min, shift-add scaling | the FPGA datapath |
 //! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
+//! | [`QcLayeredDecoder`] | `f32` | sign·min, block-layered over rotate-indexed circulant planes | the banked-memory datapath (Fig. 3) |
 //! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
 //! | [`BitsliceGallagerBDecoder`] | boolean planes, ×64 frames | majority vote via carry-save counters | frames-per-word at the hard-decision limit |
 //!
@@ -29,6 +30,7 @@ mod fixed;
 pub mod kernels;
 mod layered;
 mod minsum;
+mod qc_layered;
 mod selfcorrect;
 mod spa;
 mod spec;
@@ -42,6 +44,7 @@ pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
 pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;
 pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
+pub use qc_layered::QcLayeredDecoder;
 pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use spa::SumProductDecoder;
 pub use spec::{

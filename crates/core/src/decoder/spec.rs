@@ -17,6 +17,7 @@
 //! | `oms:0.15` | [`MinSumDecoder`] (offset) | β ≥ 0 (default 0.15) |
 //! | `fixed` | [`FixedDecoder`] | — (default datapath) |
 //! | `layered:1.25` | [`LayeredMinSumDecoder`] | α ≥ 1 (default 4/3) |
+//! | `qc-layered:1.25` | [`QcLayeredDecoder`] | α ≥ 1 (default 4/3) |
 //! | `self-corrected:1.25` | [`SelfCorrectedMinSumDecoder`] | α ≥ 1 (default 4/3) |
 //! | `gallager-b:t=2` | [`GallagerBDecoder`] | flip threshold ≥ 1 (default 3) |
 //! | `wbf` | [`WeightedBitFlipDecoder`] | — |
@@ -49,7 +50,7 @@
 use crate::decoder::block::{Batched, BlockDecoder, PerFrame};
 use crate::decoder::{
     BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder, FixedConfig, FixedDecoder,
-    GallagerBDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder,
+    GallagerBDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, QcLayeredDecoder,
     SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
 };
 use crate::LdpcCode;
@@ -90,6 +91,12 @@ pub enum DecoderFamily {
         /// Normalization factor α ≥ 1.
         alpha: f32,
     },
+    /// Block-layered normalized min-sum over the quasi-cyclic structure
+    /// (rotate-indexed circulant planes; requires a QC code).
+    QcLayered {
+        /// Normalization factor α ≥ 1.
+        alpha: f32,
+    },
     /// Self-corrected normalized min-sum (Savin).
     SelfCorrected {
         /// Normalization factor α ≥ 1.
@@ -114,6 +121,7 @@ impl DecoderFamily {
             Self::OffsetMinSum { .. } => "oms",
             Self::Fixed => "fixed",
             Self::Layered { .. } => "layered",
+            Self::QcLayered { .. } => "qc-layered",
             Self::SelfCorrected { .. } => "self-corrected",
             Self::GallagerB { .. } => "gallager-b",
             Self::WeightedBitFlip => "wbf",
@@ -183,13 +191,14 @@ impl DecoderSpec {
             "oms",
             "fixed",
             "layered",
+            "qc-layered",
             "self-corrected",
             "gallager-b",
             "wbf",
         ]
     }
 
-    /// One canonical spec per registered decoder family: the nine scalar
+    /// One canonical spec per registered decoder family: the ten scalar
     /// families of [`family_names`](Self::family_names) plus the three
     /// packed mirrors (`nms@batch=8`, `fixed@batch=8`,
     /// `gallager-b@bitslice`).
@@ -246,6 +255,7 @@ impl DecoderSpec {
         match self.family {
             DecoderFamily::NormalizedMinSum { alpha }
             | DecoderFamily::Layered { alpha }
+            | DecoderFamily::QcLayered { alpha }
             | DecoderFamily::SelfCorrected { alpha }
                 if alpha < 1.0 || !alpha.is_finite() =>
             {
@@ -360,6 +370,9 @@ impl DecoderSpec {
             DecoderFamily::Layered { alpha } => {
                 Box::new(PerFrame::new(LayeredMinSumDecoder::new(code, alpha)))
             }
+            DecoderFamily::QcLayered { alpha } => {
+                Box::new(PerFrame::new(QcLayeredDecoder::new(code, alpha)))
+            }
             DecoderFamily::SelfCorrected { alpha } => {
                 Box::new(PerFrame::new(SelfCorrectedMinSumDecoder::new(code, alpha)))
             }
@@ -386,6 +399,7 @@ impl fmt::Display for DecoderSpec {
             | DecoderFamily::WeightedBitFlip => write!(f, "{}", self.family.keyword())?,
             DecoderFamily::NormalizedMinSum { alpha }
             | DecoderFamily::Layered { alpha }
+            | DecoderFamily::QcLayered { alpha }
             | DecoderFamily::SelfCorrected { alpha } => {
                 if alpha == DEFAULT_ALPHA {
                     write!(f, "{}", self.family.keyword())?;
@@ -491,6 +505,10 @@ fn parse_family(keyword: &str, param: Option<&str>) -> Result<DecoderFamily, Spe
         "layered" => alpha_param(
             |alpha| DecoderFamily::Layered { alpha },
             "a normalization factor >= 1 (e.g. layered:1.25)",
+        ),
+        "qc-layered" | "qcl" => alpha_param(
+            |alpha| DecoderFamily::QcLayered { alpha },
+            "a normalization factor >= 1 (e.g. qc-layered:1.25)",
         ),
         "self-corrected" | "scms" => alpha_param(
             |alpha| DecoderFamily::SelfCorrected { alpha },
@@ -682,6 +700,10 @@ mod tests {
             DecoderSpec::parse("self-corrected:1.5").unwrap()
         );
         assert_eq!(
+            DecoderSpec::parse("qcl:1.5").unwrap(),
+            DecoderSpec::parse("qc-layered:1.5").unwrap()
+        );
+        assert_eq!(
             DecoderSpec::parse("weighted-bit-flip").unwrap(),
             DecoderSpec::parse("wbf").unwrap()
         );
@@ -716,6 +738,18 @@ mod tests {
 
         let err = DecoderSpec::parse("nms:0.5").unwrap_err();
         assert!(err.to_string().contains(">= 1"), "{err}");
+
+        let err = DecoderSpec::parse("qc-layered:0.5").unwrap_err();
+        assert!(err.to_string().contains(">= 1"), "{err}");
+
+        let err = DecoderSpec::parse("qcl:fast").unwrap_err();
+        assert!(err.to_string().contains("qc-layered:1.25"), "{err}");
+
+        let err = DecoderSpec::parse("qc-layered@batch=8").unwrap_err();
+        assert!(
+            err.to_string().contains("not supported for qc-layered"),
+            "{err}"
+        );
 
         let err = DecoderSpec::parse("spa:1.5").unwrap_err();
         assert!(err.to_string().contains("takes no parameter"), "{err}");
@@ -796,6 +830,9 @@ mod tests {
             F::Layered {
                 alpha: DEFAULT_ALPHA,
             },
+            F::QcLayered {
+                alpha: DEFAULT_ALPHA,
+            },
             F::SelfCorrected {
                 alpha: DEFAULT_ALPHA,
             },
@@ -814,6 +851,7 @@ mod tests {
                 | F::OffsetMinSum { .. }
                 | F::Fixed
                 | F::Layered { .. }
+                | F::QcLayered { .. }
                 | F::SelfCorrected { .. }
                 | F::GallagerB { .. }
                 | F::WeightedBitFlip => {}

@@ -57,8 +57,8 @@ pub use decoder::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Batched,
     BitsliceGallagerBDecoder, BlockDecoder, DecodeResult, DecodeTrace, Decoder, DecoderFamily,
     DecoderSpec, FixedConfig, FixedDecoder, GallagerBDecoder, IterationStats, LayeredMinSumDecoder,
-    MinSumConfig, MinSumDecoder, MinSumVariant, PerFrame, Scaling, SelfCorrectedMinSumDecoder,
-    SpecError, SumProductDecoder, WeightedBitFlipDecoder,
+    MinSumConfig, MinSumDecoder, MinSumVariant, PerFrame, QcLayeredDecoder, Scaling,
+    SelfCorrectedMinSumDecoder, SpecError, SumProductDecoder, WeightedBitFlipDecoder,
 };
 pub use encoder::Encoder;
 pub use error::{CodeError, EncodeError};

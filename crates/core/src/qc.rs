@@ -167,15 +167,92 @@ impl QcLdpcSpec {
                 let mut row = Vec::new();
                 for bc in 0..self.block_cols {
                     let base = (bc * l) as u32;
-                    for p in self.block(br, bc).row_ones(i) {
-                        row.push(base + p);
-                    }
+                    row.extend(self.block(br, bc).row_ones_iter(i).map(|p| base + p));
                 }
                 row.sort_unstable();
                 rows.push(row);
             }
         }
         SparseMatrix::from_rows(self.cols(), rows)
+    }
+
+    /// Detects circulant block structure in an arbitrary sparse matrix.
+    ///
+    /// Tries every divisor `L ≥ 2` of `gcd(rows, cols)` in descending
+    /// order, reading candidate tap positions off the first row of each
+    /// block row and verifying every remaining row is the corresponding
+    /// cyclic shift. Returns the spec with the **largest** circulant size
+    /// whose expansion reproduces `h` exactly, or `None` when the matrix
+    /// has no non-trivial block-circulant form (every matrix is trivially
+    /// a block array of 1×1 circulants, so `L = 1` is rejected).
+    ///
+    /// This is how shortened or AR4JA-derived matrices degrade
+    /// gracefully: their row/column deletions break the cyclic-shift
+    /// property, every candidate `L` fails verification, and the caller
+    /// gets `None` instead of a wrong structure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ldpc_core::QcLdpcSpec;
+    /// use gf2::Circulant;
+    ///
+    /// let mut spec = QcLdpcSpec::new(4, 1, 2);
+    /// spec.set_block(0, 0, Circulant::new(4, &[0, 1]));
+    /// spec.set_block(0, 1, Circulant::identity(4));
+    /// let recovered = QcLdpcSpec::recover(&spec.expand()).unwrap();
+    /// assert_eq!(recovered, spec);
+    /// ```
+    pub fn recover(h: &SparseMatrix) -> Option<QcLdpcSpec> {
+        let (m, n) = (h.rows(), h.cols());
+        if m == 0 || n == 0 {
+            return None;
+        }
+        let g = gcd(m, n);
+        for l in (2..=g).rev() {
+            if !g.is_multiple_of(l) {
+                continue;
+            }
+            if let Some(spec) = Self::try_recover(h, l) {
+                return Some(spec);
+            }
+        }
+        None
+    }
+
+    /// Attempts recovery at one fixed circulant size; `None` if any row
+    /// of `h` is not the cyclic shift its block row's first row implies.
+    fn try_recover(h: &SparseMatrix, l: usize) -> Option<QcLdpcSpec> {
+        let block_rows = h.rows() / l;
+        let block_cols = h.cols() / l;
+        let mut spec = Self::new(l, block_rows, block_cols);
+        // Taps come from the first row of each block row: a one at
+        // column c belongs to block c / l at tap position c mod l.
+        for br in 0..block_rows {
+            let mut per_block: Vec<Vec<u32>> = vec![Vec::new(); block_cols];
+            for &c in h.row(br * l) {
+                per_block[c as usize / l].push(c % l as u32);
+            }
+            for (bc, positions) in per_block.into_iter().enumerate() {
+                spec.set_block(br, bc, Circulant::new(l, &positions));
+            }
+        }
+        // Verify every row against the candidate's cyclic shifts.
+        let mut expected = Vec::new();
+        for br in 0..block_rows {
+            for i in 0..l {
+                expected.clear();
+                for bc in 0..block_cols {
+                    let base = (bc * l) as u32;
+                    expected.extend(spec.block(br, bc).row_ones_iter(i).map(|p| base + p));
+                }
+                expected.sort_unstable();
+                if expected != h.row(br * l + i) {
+                    return None;
+                }
+            }
+        }
+        Some(spec)
     }
 
     /// Row groups of the expanded matrix corresponding to each block row.
@@ -187,6 +264,13 @@ impl QcLdpcSpec {
             .map(|br| ((br * l) as u32..((br + 1) * l) as u32).collect())
             .collect()
     }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl fmt::Debug for QcLdpcSpec {
@@ -261,5 +345,61 @@ mod tests {
     fn set_block_rejects_wrong_size() {
         let mut spec = QcLdpcSpec::new(4, 1, 1);
         spec.set_block(0, 0, Circulant::identity(5));
+    }
+
+    #[test]
+    fn recover_round_trips_random_specs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (l, br, bc, w) in [(11, 2, 4, 2), (7, 3, 3, 1), (5, 1, 6, 3)] {
+            let spec = QcLdpcSpec::random(&mut rng, l, br, bc, w);
+            let recovered = QcLdpcSpec::recover(&spec.expand())
+                .unwrap_or_else(|| panic!("no structure found for L={l} {br}x{bc} w={w}"));
+            assert_eq!(recovered, spec);
+        }
+    }
+
+    #[test]
+    fn recover_handles_zero_blocks() {
+        // A spec with a zero block (block weight varies per column).
+        let mut spec = QcLdpcSpec::new(6, 2, 3);
+        spec.set_block(0, 0, Circulant::new(6, &[0, 2]));
+        spec.set_block(0, 2, Circulant::identity(6));
+        spec.set_block(1, 1, Circulant::new(6, &[1, 4, 5]));
+        spec.set_block(1, 2, Circulant::new(6, &[3]));
+        assert_eq!(QcLdpcSpec::recover(&spec.expand()), Some(spec));
+    }
+
+    #[test]
+    fn recover_prefers_the_largest_circulant_size() {
+        // An identity block structure is also block-circulant at every
+        // divisor of L; recovery must report the coarsest (largest L)
+        // description.
+        let mut spec = QcLdpcSpec::new(8, 1, 2);
+        spec.set_block(0, 0, Circulant::identity(8));
+        spec.set_block(0, 1, Circulant::new(8, &[3]));
+        let recovered = QcLdpcSpec::recover(&spec.expand()).unwrap();
+        assert_eq!(recovered.circulant_size(), 8);
+        assert_eq!(recovered, spec);
+    }
+
+    #[test]
+    fn recover_rejects_unstructured_matrices() {
+        // Breaking one row of an expanded spec kills every candidate L.
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = QcLdpcSpec::random(&mut rng, 6, 2, 4, 2);
+        let h = spec.expand();
+        let mut rows: Vec<Vec<u32>> = (0..h.rows()).map(|r| h.row(r).to_vec()).collect();
+        rows[3] = vec![0, 1, 2]; // not a cyclic shift of row 0's taps
+        let broken = SparseMatrix::from_rows(h.cols(), rows);
+        assert_eq!(QcLdpcSpec::recover(&broken), None);
+    }
+
+    #[test]
+    fn recover_rejects_trivial_and_empty() {
+        // gcd(rows, cols) == 1 admits only L = 1, which is rejected.
+        let h = SparseMatrix::from_rows(7, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(QcLdpcSpec::recover(&h), None);
+        let empty = SparseMatrix::from_rows(0, Vec::new());
+        assert_eq!(QcLdpcSpec::recover(&empty), None);
     }
 }

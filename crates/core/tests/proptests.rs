@@ -258,6 +258,43 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structure recovery round trips: a random circulant spec (non-square
+    /// block arrays and zero blocks included) expands to a matrix from
+    /// which [`QcLdpcSpec::recover`] finds a spec with the *identical*
+    /// expansion. Recovery prefers the coarsest description, so its
+    /// circulant size is at least the original's; when they agree the
+    /// recovered spec is the original, block for block.
+    #[test]
+    fn qc_structure_recovery_roundtrips(
+        l in 2usize..14,
+        block_rows in 1usize..4,
+        block_cols in 1usize..5,
+        tap_seeds in prop::collection::vec(prop::collection::vec(0u32..64, 0..4), 1..20),
+    ) {
+        use gf2::Circulant;
+        use ldpc_core::QcLdpcSpec;
+        let mut spec = QcLdpcSpec::new(l, block_rows, block_cols);
+        // Scatter the generated tap lists over the block array; blocks
+        // with no list (or an empty one) stay zero circulants.
+        for (idx, taps) in tap_seeds.iter().enumerate() {
+            let r = (idx / block_cols) % block_rows;
+            let c = idx % block_cols;
+            let positions: Vec<u32> = taps.iter().map(|&t| t % l as u32).collect();
+            spec.set_block(r, c, Circulant::new(l, &positions));
+        }
+        let h = spec.expand();
+        let recovered = QcLdpcSpec::recover(&h).expect("expanded spec must recover");
+        prop_assert_eq!(recovered.expand(), h);
+        prop_assert!(recovered.circulant_size() >= l);
+        if recovered.circulant_size() == l {
+            prop_assert_eq!(recovered, spec);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// The spec grammar round trips: for every family and random valid
@@ -277,7 +314,7 @@ proptest! {
         let name = DecoderSpec::family_names()[family_idx];
         let head = if explicit_param {
             match name {
-                "nms" | "layered" | "self-corrected" => format!("{name}:{alpha}"),
+                "nms" | "layered" | "qc-layered" | "self-corrected" => format!("{name}:{alpha}"),
                 "oms" => format!("oms:{beta}"),
                 "gallager-b" => format!("gallager-b:t={threshold}"),
                 other => other.to_string(),

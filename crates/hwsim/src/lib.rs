@@ -61,5 +61,5 @@ pub use planner::{plan, PlannerChoice, PlannerRequest};
 pub use power::{estimate_power, estimate_power_via_simulation, PowerEstimate};
 pub use report::render_table;
 pub use resources::ResourceEstimate;
-pub use schedule::{AddressRun, MessageBankLayout, WordAccess};
+pub use schedule::{AddressRun, BankTraffic, MessageBankLayout, TrafficComparison, WordAccess};
 pub use throughput::ThroughputModel;

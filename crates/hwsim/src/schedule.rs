@@ -207,6 +207,116 @@ impl MessageBankLayout {
     }
 }
 
+/// Per-bank word traffic of one decoding iteration under one schedule.
+///
+/// Counts accesses to the bank's message words *and* the a-posteriori
+/// values its checks touch, in word units; `bursts` counts address
+/// sequences the memory controller must issue (a cyclically contiguous
+/// run is one burst, a scattered access is one burst per word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankTraffic {
+    /// Bank (block row) index.
+    pub bank: usize,
+    /// Word reads per iteration.
+    pub word_reads: usize,
+    /// Word writes per iteration.
+    pub word_writes: usize,
+    /// Address bursts issued per iteration.
+    pub bursts: usize,
+}
+
+/// Per-bank traffic of the QC (rotate-indexed) schedule next to the
+/// generic edge-list gather schedule, for one decoding iteration —
+/// the paper's banking argument as a measurable quantity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficComparison {
+    /// Traffic under the QC schedule, one entry per bank.
+    pub qc: Vec<BankTraffic>,
+    /// Traffic under the generic gather schedule, one entry per bank.
+    pub generic: Vec<BankTraffic>,
+}
+
+impl TrafficComparison {
+    /// Total word reads + writes across all banks for (qc, generic).
+    pub fn total_words(&self) -> (usize, usize) {
+        let sum = |side: &[BankTraffic]| {
+            side.iter()
+                .map(|b| b.word_reads + b.word_writes)
+                .sum::<usize>()
+        };
+        (sum(&self.qc), sum(&self.generic))
+    }
+
+    /// Total bursts across all banks for (qc, generic).
+    pub fn total_bursts(&self) -> (usize, usize) {
+        let sum = |side: &[BankTraffic]| side.iter().map(|b| b.bursts).sum::<usize>();
+        (sum(&self.qc), sum(&self.generic))
+    }
+
+    /// Renders the comparison as an aligned table for the hwsim report.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for (side, label) in [(&self.qc, "qc"), (&self.generic, "generic")] {
+            for b in side.iter() {
+                rows.push(vec![
+                    b.bank.to_string(),
+                    label.to_string(),
+                    b.word_reads.to_string(),
+                    b.word_writes.to_string(),
+                    b.bursts.to_string(),
+                ]);
+            }
+        }
+        crate::render_table(
+            "Per-bank memory traffic per iteration (QC vs generic schedule)",
+            &["bank", "schedule", "word reads", "word writes", "bursts"],
+            &rows,
+        )
+    }
+}
+
+impl MessageBankLayout {
+    /// Per-bank word traffic of one decoding iteration: the QC
+    /// (rotate-indexed) schedule against the generic edge-list gather.
+    ///
+    /// Both schedules move the same information — for each of the bank's
+    /// `L` checks, its `E_r` messages and the matching a-posteriori
+    /// values, read and written once per iteration. They differ in word
+    /// packing and addressability:
+    ///
+    /// * **QC** — the check's `E_r` messages share one bank word
+    ///   (check-row-major layout), so the message side costs `L` word
+    ///   reads + `L` word writes streamed as one contiguous burst each;
+    ///   the a-posteriori side is one cyclic run per circulant tap
+    ///   (`E_r` runs of `L` words, read and written), for
+    ///   `L + E_r·L` reads, the same writes, and `2 + 2·E_r` bursts.
+    /// * **Generic** — per-edge index lists know nothing of the block
+    ///   form: every message and every a-posteriori value is a separate
+    ///   single-word access, for `2·L·E_r` reads, `2·L·E_r` writes, and
+    ///   one burst per word (`4·L·E_r`).
+    pub fn traffic_per_iteration(&self) -> TrafficComparison {
+        let l = self.circulant_size;
+        let mut qc = Vec::with_capacity(self.block_rows);
+        let mut generic = Vec::with_capacity(self.block_rows);
+        for bank in 0..self.block_rows {
+            let e_r = self.lanes_per_word(bank);
+            qc.push(BankTraffic {
+                bank,
+                word_reads: l + e_r * l,
+                word_writes: l + e_r * l,
+                bursts: 2 + 2 * e_r,
+            });
+            generic.push(BankTraffic {
+                bank,
+                word_reads: 2 * l * e_r,
+                word_writes: 2 * l * e_r,
+                bursts: 4 * l * e_r,
+            });
+        }
+        TrafficComparison { qc, generic }
+    }
+}
+
 /// Helper: expands a circulant row index for tests.
 #[allow(dead_code)]
 fn circulant_row(c: &Circulant, i: usize) -> Vec<u32> {
@@ -310,5 +420,49 @@ mod tests {
     fn out_of_range_bit_rejected() {
         let layout = MessageBankLayout::new(&ccsds_c2::spec());
         let _ = layout.bn_accesses(9000);
+    }
+
+    #[test]
+    fn c2_traffic_counts_are_pinned() {
+        // L = 511, E_r = 32 per bank: the QC schedule halves word traffic
+        // and collapses ~65k scattered bursts into 66 streamed runs.
+        let layout = MessageBankLayout::new(&ccsds_c2::spec());
+        let t = layout.traffic_per_iteration();
+        assert_eq!(t.qc.len(), 2);
+        assert_eq!(t.generic.len(), 2);
+        for bank in 0..2 {
+            assert_eq!(t.qc[bank].word_reads, 511 + 32 * 511); // 16 863
+            assert_eq!(t.qc[bank].word_writes, 16_863);
+            assert_eq!(t.qc[bank].bursts, 66);
+            assert_eq!(t.generic[bank].word_reads, 2 * 511 * 32); // 32 704
+            assert_eq!(t.generic[bank].word_writes, 32_704);
+            assert_eq!(t.generic[bank].bursts, 65_408);
+        }
+        assert_eq!(t.total_words(), (4 * 16_863, 4 * 32_704));
+        assert_eq!(t.total_bursts(), (132, 130_816));
+    }
+
+    #[test]
+    fn demo_traffic_scales_with_the_block_shape() {
+        // Demo code: L = 31, 2 banks of E_r = 16.
+        let layout = MessageBankLayout::new(&small::demo_spec());
+        let t = layout.traffic_per_iteration();
+        for bank in 0..2 {
+            assert_eq!(t.qc[bank].word_reads, 31 + 16 * 31);
+            assert_eq!(t.qc[bank].bursts, 2 + 2 * 16);
+            assert_eq!(t.generic[bank].word_reads, 2 * 31 * 16);
+            assert_eq!(t.generic[bank].bursts, 4 * 31 * 16);
+        }
+    }
+
+    #[test]
+    fn traffic_render_is_a_complete_table() {
+        let layout = MessageBankLayout::new(&ccsds_c2::spec());
+        let table = layout.traffic_per_iteration().render();
+        assert!(table.contains("memory traffic"));
+        assert!(table.contains("16863"));
+        assert!(table.contains("65408"));
+        // Title + header + separator + 2 banks x 2 schedules.
+        assert_eq!(table.lines().count(), 7);
     }
 }

@@ -84,10 +84,10 @@ fn registry_is_complete() {
             "family {name} is parseable but missing from DecoderSpec::all_families()"
         );
     }
-    // 9 scalar families + 3 packed mirrors. Update both the grammar and
+    // 10 scalar families + 3 packed mirrors. Update both the grammar and
     // this count when registering a new family.
-    assert_eq!(DecoderSpec::family_names().len(), 9);
-    assert_eq!(all.len(), 12);
+    assert_eq!(DecoderSpec::family_names().len(), 10);
+    assert_eq!(all.len(), 13);
     // Canonical specs round trip through the grammar.
     for spec in &all {
         assert_eq!(
@@ -242,6 +242,33 @@ fn every_family_sound_and_deterministic_on_bsc_and_rayleigh() {
             any_success > 0,
             "{channel}: no family decoded anything — corpus broken?"
         );
+    }
+}
+
+/// The QC block-layered schedule against the serial layered reference:
+/// the schedules differ inside a block row (Jacobi vs fully serial), so
+/// LLR trajectories diverge — but on the corpus's clearly decodable
+/// frames (the 8 and 5 dB operating points) both must converge and land
+/// on the same codeword.
+#[test]
+fn qc_layered_matches_layered_on_decodable_frames() {
+    let code = demo_code();
+    let llrs = corpus();
+    let n = code.n();
+    let mut qc = DecoderSpec::parse("qc-layered").unwrap().build(&code);
+    let mut serial = DecoderSpec::parse("layered").unwrap().build(&code);
+    let a = qc.decode_block(&llrs, MAX_ITERATIONS);
+    let b = serial.decode_block(&llrs, MAX_ITERATIONS);
+    assert_eq!(a.len(), b.len());
+    // The first 32 frames are the 8 and 5 dB points: clearly decodable.
+    for (f, (qa, qb)) in a.iter().zip(&b).take(32).enumerate() {
+        assert!(qa.converged, "qc-layered failed decodable frame {f}");
+        assert!(qb.converged, "layered failed decodable frame {f}");
+        assert_eq!(
+            qa.hard_decision, qb.hard_decision,
+            "schedules disagree on decodable frame {f}"
+        );
+        assert_eq!(qa.hard_decision.len(), n);
     }
 }
 

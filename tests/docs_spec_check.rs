@@ -65,6 +65,8 @@ const DECODER_KEYWORDS: &[&str] = &[
     "oms",
     "fixed",
     "layered",
+    "qc-layered",
+    "qcl",
     "self-corrected",
     "scms",
     "gallager-b",

@@ -246,6 +246,7 @@ const GOLDEN_REGISTRY: &[(&str, u64)] = &[
     ("oms", 8356094764723818816),
     ("fixed", 13121139592671188269),
     ("layered", 12643584728896840517),
+    ("qc-layered", 1036475612428532190),
     ("self-corrected", 6862033022456571360),
     ("gallager-b", 7840324428456516466),
     ("wbf", 17663036489116059531),
