@@ -279,7 +279,7 @@ fn resolve_decoder_spec(args: &ParsedArgs) -> Result<DecoderSpec, Box<dyn Error>
         }
         1 => {}
         n => {
-            if spec.batch.is_some() || spec.bitslice {
+            if spec.batch.is_some() || spec.bitslice || spec.pack.is_some() {
                 return Err(format!(
                     "--batch {n} conflicts with the modifiers in --decoder {spec}; \
                      put the batch in the spec"

@@ -65,13 +65,13 @@ pub trait BatchDecoder {
 
 /// Per-batch bookkeeping shared by the batched decoders: which frames are
 /// still active, and the result snapshot of frames that already finished.
-struct BatchState {
-    active: Vec<bool>,
+pub(super) struct BatchState {
+    pub(super) active: Vec<bool>,
     /// Indices of the still-active lanes, so masked phases do work
     /// proportional to the number of unfinished frames.
-    lanes: Vec<u32>,
-    iterations: Vec<u32>,
-    converged: Vec<bool>,
+    pub(super) lanes: Vec<u32>,
+    pub(super) iterations: Vec<u32>,
+    pub(super) converged: Vec<bool>,
 }
 
 impl BatchState {
@@ -100,9 +100,15 @@ impl BatchState {
 /// The decoder-specific hooks the shared batch iteration driver needs:
 /// run one iteration's phases, expose per-frame hard decisions, and say
 /// whether early termination is on.
-trait BatchPhases {
+pub(super) trait BatchPhases {
     /// Runs one check-node + bit-node iteration over the active lanes.
     fn run_phases(&mut self, iter: u32, frames: usize, state: &BatchState);
+
+    /// Called right before [`hard_frame`](Self::hard_frame) is read for
+    /// frame `f`, so engines that keep hard decisions in a transposed
+    /// layout can materialize just that frame on demand instead of
+    /// re-transposing every frame every iteration. Default: no-op.
+    fn materialize_hard(&mut self, _f: usize) {}
 
     /// Hard-decision slice of frame `f` after the last iteration.
     fn hard_frame(&self, f: usize) -> &[u8];
@@ -119,7 +125,7 @@ trait BatchPhases {
 /// the budget is spent), retiring each frame the moment its syndrome
 /// becomes zero — exactly the per-frame decoders' semantics, frame by
 /// frame.
-fn drive_batch<E: BatchPhases>(
+pub(super) fn drive_batch<E: BatchPhases>(
     engine: &mut E,
     frames: usize,
     max_iterations: u32,
@@ -142,6 +148,7 @@ fn drive_batch<E: BatchPhases>(
             if engine.syndrome_ok_frame(f) {
                 state.converged[f] = true;
                 if engine.early_stop() {
+                    engine.materialize_hard(f);
                     results[f] = Some(DecodeResult {
                         hard_decision: BitVec::from_bits(engine.hard_frame(f)),
                         iterations: state.iterations[f],
@@ -154,16 +161,19 @@ fn drive_batch<E: BatchPhases>(
             }
         }
     }
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(f, r)| {
-            r.unwrap_or_else(|| DecodeResult {
+    for (f, slot) in results.iter_mut().enumerate() {
+        if slot.is_none() {
+            engine.materialize_hard(f);
+            *slot = Some(DecodeResult {
                 hard_decision: BitVec::from_bits(engine.hard_frame(f)),
                 iterations: state.iterations[f],
                 converged: state.converged[f],
-            })
-        })
+            });
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("filled above"))
         .collect()
 }
 

@@ -14,6 +14,7 @@
 //! | [`LayeredMinSumDecoder`] | `f32` | sign·min, serial schedule | ablation (A3) |
 //! | [`QcLayeredDecoder`] | `f32` | sign·min, block-layered over rotate-indexed circulant planes | the banked-memory datapath (Fig. 3) |
 //! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
+//! | [`PackedFixedDecoder`] | SWAR i8 lanes, ×8 frames per word | sign·min on byte lanes, one word op per edge | frames-per-word packing at register width |
 //! | [`BitsliceGallagerBDecoder`] | boolean planes, ×64 frames | majority vote via carry-save counters | frames-per-word at the hard-decision limit |
 //!
 //! Every family is also reachable declaratively: [`DecoderSpec`] parses a
@@ -30,10 +31,12 @@ mod fixed;
 pub mod kernels;
 mod layered;
 mod minsum;
+mod packed;
 mod qc_layered;
 mod selfcorrect;
 mod spa;
 mod spec;
+pub mod swar;
 
 pub use alpha::{fine_alpha_schedule, mean_matching_alpha, nearest_hardware_scaling};
 pub use batch::{decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder};
@@ -44,6 +47,7 @@ pub use fixed::{DecodeTrace, FixedConfig, FixedDecoder, IterationStats};
 pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;
 pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
+pub use packed::{PackedFixedDecoder, PACK_LANES};
 pub use qc_layered::QcLayeredDecoder;
 pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use spa::SumProductDecoder;

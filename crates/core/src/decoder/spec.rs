@@ -29,6 +29,7 @@
 //! |----------|--------|------------|
 //! | `@batch=8` | lockstep frame batching ([`BatchMinSumDecoder`] / [`BatchFixedDecoder`]) | `ms`, `nms`, `oms`, `fixed` |
 //! | `@bitslice` | 64 frames per `u64` word ([`BitsliceGallagerBDecoder`]) | `gallager-b` |
+//! | `@pack=8` | SWAR soft datapath: 8 frames' i8 messages per `u64` word ([`PackedFixedDecoder`]) | `fixed` |
 //!
 //! Parsing ([`FromStr`]) and rendering ([`Display`](fmt::Display)) round
 //! trip: `parse(display(spec)) == spec` for every valid spec (pinned by
@@ -50,8 +51,9 @@
 use crate::decoder::block::{Batched, BlockDecoder, PerFrame};
 use crate::decoder::{
     BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder, FixedConfig, FixedDecoder,
-    GallagerBDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, QcLayeredDecoder,
-    SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
+    GallagerBDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, PackedFixedDecoder,
+    QcLayeredDecoder, SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
+    PACK_LANES,
 };
 use crate::LdpcCode;
 use std::fmt;
@@ -140,6 +142,13 @@ impl DecoderFamily {
     pub fn supports_bitslice(&self) -> bool {
         matches!(self, Self::GallagerB { .. })
     }
+
+    /// Whether `@pack=8` applies to this family. Only the fixed-point
+    /// datapath has a SWAR-packed mirror: packing relies on i8 message
+    /// lanes, so float-message families cannot support it.
+    pub fn supports_pack(&self) -> bool {
+        matches!(self, Self::Fixed)
+    }
 }
 
 /// A complete decoder specification: a family plus execution modifiers.
@@ -157,6 +166,10 @@ pub struct DecoderSpec {
     pub batch: Option<usize>,
     /// `@bitslice`: 64 frames per `u64` word (`gallager-b` only).
     pub bitslice: bool,
+    /// `@pack=8`: SWAR soft datapath, 8 frames' i8 messages per `u64`
+    /// word (`fixed` only). The lane count is fixed by the word width,
+    /// so the only valid value is [`PACK_LANES`].
+    pub pack: Option<usize>,
 }
 
 impl DecoderSpec {
@@ -166,6 +179,7 @@ impl DecoderSpec {
             family,
             batch: None,
             bitslice: false,
+            pack: None,
         }
     }
 
@@ -199,8 +213,8 @@ impl DecoderSpec {
     }
 
     /// One canonical spec per registered decoder family: the ten scalar
-    /// families of [`family_names`](Self::family_names) plus the three
-    /// packed mirrors (`nms@batch=8`, `fixed@batch=8`,
+    /// families of [`family_names`](Self::family_names) plus the four
+    /// packed mirrors (`nms@batch=8`, `fixed@batch=8`, `fixed@pack=8`,
     /// `gallager-b@bitslice`).
     ///
     /// The conformance suite derives its decoder list from this registry,
@@ -219,6 +233,12 @@ impl DecoderSpec {
                     .expect("registry family supports @batch"),
             );
         }
+        specs.push(
+            Self::parse("fixed")
+                .expect("registry keyword must parse")
+                .with_pack(PACK_LANES)
+                .expect("fixed supports @pack"),
+        );
         specs.push(
             Self::parse("gallager-b")
                 .expect("registry keyword must parse")
@@ -247,6 +267,18 @@ impl DecoderSpec {
     /// the spec is already batched.
     pub fn with_bitslice(mut self) -> Result<Self, SpecError> {
         self.bitslice = true;
+        self.validated()
+    }
+
+    /// This spec with `@pack=n` applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the family has no SWAR-packed mirror,
+    /// `n` is not [`PACK_LANES`], or another packing modifier is already
+    /// present.
+    pub fn with_pack(mut self, n: usize) -> Result<Self, SpecError> {
+        self.pack = Some(n);
         self.validated()
     }
 
@@ -304,8 +336,30 @@ impl DecoderSpec {
                 supported: "gallager-b",
             });
         }
+        if let Some(pack) = self.pack {
+            if !self.family.supports_pack() {
+                return Err(SpecError::UnsupportedModifier {
+                    modifier: "@pack",
+                    family: self.family.keyword(),
+                    supported: "fixed (SWAR packing needs i8 message lanes; float-message families have none)",
+                });
+            }
+            if pack != PACK_LANES {
+                return Err(SpecError::InvalidParameter {
+                    family: self.family.keyword(),
+                    value: format!("pack={pack}"),
+                    expected: "the word-width lane count @pack=8 (8 i8 lanes per u64)",
+                });
+            }
+        }
         if self.bitslice && self.batch.is_some() {
-            return Err(SpecError::ConflictingModifiers);
+            return Err(SpecError::ConflictingModifiers("@batch", "@bitslice"));
+        }
+        if self.pack.is_some() && self.batch.is_some() {
+            return Err(SpecError::ConflictingModifiers("@batch", "@pack"));
+        }
+        if self.pack.is_some() && self.bitslice {
+            return Err(SpecError::ConflictingModifiers("@bitslice", "@pack"));
         }
         Ok(self)
     }
@@ -328,6 +382,14 @@ impl DecoderSpec {
                 unreachable!("validated above");
             };
             return Box::new(Batched::new(BitsliceGallagerBDecoder::new(code, threshold)));
+        }
+        if self.pack.is_some() {
+            // Validation pinned the family to `fixed` and the lane count
+            // to PACK_LANES, so the packed mirror is the only target.
+            return Box::new(Batched::new(PackedFixedDecoder::new(
+                code,
+                FixedConfig::default(),
+            )));
         }
         if let Some(batch) = self.batch {
             return match self.family {
@@ -428,6 +490,9 @@ impl fmt::Display for DecoderSpec {
         if self.bitslice {
             write!(f, "@bitslice")?;
         }
+        if let Some(pack) = self.pack {
+            write!(f, "@pack={pack}")?;
+        }
         Ok(())
     }
 }
@@ -464,6 +529,16 @@ impl FromStr for DecoderSpec {
                     expected: "a batch size >= 1 (e.g. @batch=8)",
                 })?;
                 spec.batch = Some(batch);
+            } else if let Some(value) = modifier.strip_prefix("pack=") {
+                if spec.pack.is_some() {
+                    return Err(SpecError::DuplicateModifier("@pack"));
+                }
+                let pack: usize = value.parse().map_err(|_| SpecError::InvalidParameter {
+                    family: family.keyword(),
+                    value: format!("pack={value}"),
+                    expected: "the word-width lane count @pack=8 (8 i8 lanes per u64)",
+                })?;
+                spec.pack = Some(pack);
             } else {
                 return Err(SpecError::UnknownModifier(modifier.to_string()));
             }
@@ -576,15 +651,15 @@ pub enum SpecError {
     DuplicateModifier(&'static str),
     /// A modifier was applied to a family without that execution mirror.
     UnsupportedModifier {
-        /// The modifier (`@batch` / `@bitslice`).
+        /// The modifier (`@batch` / `@bitslice` / `@pack`).
         modifier: &'static str,
         /// Family keyword it was applied to.
         family: &'static str,
         /// Families that do support it.
         supported: &'static str,
     },
-    /// `@batch` and `@bitslice` were combined.
-    ConflictingModifiers,
+    /// Two frame-packing execution mirrors were combined.
+    ConflictingModifiers(&'static str, &'static str),
 }
 
 impl fmt::Display for SpecError {
@@ -603,13 +678,16 @@ impl fmt::Display for SpecError {
                 family,
                 value,
                 expected,
-            } => write!(f, "invalid parameter {value:?} for {family}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter {value:?} for {family}: expected {expected}"
+            ),
             Self::UnexpectedParameter { family, value } => {
                 write!(f, "{family} takes no parameter, but got {value:?}")
             }
             Self::UnknownModifier(name) => write!(
                 f,
-                "unknown modifier {name:?}; known modifiers: @batch=N, @bitslice"
+                "unknown modifier {name:?}; known modifiers: @batch=N, @bitslice, @pack=8"
             ),
             Self::DuplicateModifier(name) => write!(f, "modifier {name} given more than once"),
             Self::UnsupportedModifier {
@@ -620,9 +698,9 @@ impl fmt::Display for SpecError {
                 f,
                 "{modifier} is not supported for {family}; supported families: {supported}"
             ),
-            Self::ConflictingModifiers => write!(
+            Self::ConflictingModifiers(a, b) => write!(
                 f,
-                "@batch and @bitslice cannot be combined (bit-slicing already packs 64 frames per word)"
+                "{a} and {b} cannot be combined (pick one frame-packing execution mirror)"
             ),
         }
     }
@@ -777,6 +855,59 @@ mod tests {
     }
 
     #[test]
+    fn pack_modifier_parses_and_round_trips() {
+        let spec = DecoderSpec::parse("fixed@pack=8").unwrap();
+        assert_eq!(spec.family, DecoderFamily::Fixed);
+        assert_eq!(spec.pack, Some(8));
+        assert_eq!(spec.to_string(), "fixed@pack=8");
+        assert_eq!(DecoderSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert_eq!(
+            DecoderSpec::parse("fixed").unwrap().with_pack(8).unwrap(),
+            spec
+        );
+    }
+
+    #[test]
+    fn pack_modifier_rejections_are_actionable() {
+        // Only the word-width lane count exists.
+        let err = DecoderSpec::parse("fixed@pack=7").unwrap_err();
+        assert!(err.to_string().contains("@pack=8"), "{err}");
+        let err = DecoderSpec::parse("fixed@pack=16").unwrap_err();
+        assert!(err.to_string().contains("8 i8 lanes per u64"), "{err}");
+        let err = DecoderSpec::parse("fixed@pack=fast").unwrap_err();
+        assert!(err.to_string().contains("@pack=8"), "{err}");
+
+        // Float-message families have no i8 lanes to pack.
+        let err = DecoderSpec::parse("spa@pack=8").unwrap_err();
+        assert!(err.to_string().contains("not supported for spa"), "{err}");
+        assert!(err.to_string().contains("fixed"), "{err}");
+        assert!(err.to_string().contains("i8 message lanes"), "{err}");
+        let err = DecoderSpec::parse("nms:1.25@pack=8").unwrap_err();
+        assert!(err.to_string().contains("not supported for nms"), "{err}");
+
+        // One frame-packing mirror at a time, and no duplicates.
+        let err = DecoderSpec::parse("fixed@batch=8@pack=8").unwrap_err();
+        assert!(
+            matches!(err, SpecError::ConflictingModifiers(_, _)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("@pack"), "{err}");
+        let err = DecoderSpec::parse("fixed@pack=8@pack=8").unwrap_err();
+        assert_eq!(err, SpecError::DuplicateModifier("@pack"));
+        assert!(DecoderSpec::parse("gallager-b@bitslice@pack=8").is_err());
+    }
+
+    #[test]
+    fn pack_spec_builds_the_packed_mirror() {
+        let code = demo_code();
+        let mut dec = DecoderSpec::parse("fixed@pack=8").unwrap().build(&code);
+        assert_eq!(dec.block_frames(), PACK_LANES);
+        assert!(dec.name().contains("packed"), "{}", dec.name());
+        let out = dec.decode_block(&vec![3.0_f32; 2 * code.n()], 10);
+        assert!(out.iter().all(|r| r.converged && r.hard_decision.is_zero()));
+    }
+
+    #[test]
     fn every_registered_family_builds_and_decodes() {
         let code = demo_code();
         let llrs = vec![3.0_f32; 2 * code.n()];
@@ -884,6 +1015,7 @@ mod tests {
             family: DecoderFamily::SumProduct,
             batch: Some(8),
             bitslice: false,
+            pack: None,
         };
         spec.build(&demo_code());
     }

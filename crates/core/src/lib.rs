@@ -33,7 +33,12 @@
 //! assert!(out.hard_decision.is_zero());
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free; the only exception is the feature-gated
+// SSE4.1 mirror of the packed SWAR datapath, whose intrinsics module
+// carries a scoped `allow` — so `forbid` must relax to `deny` when the
+// `simd` feature is enabled.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -57,8 +62,9 @@ pub use decoder::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Batched,
     BitsliceGallagerBDecoder, BlockDecoder, DecodeResult, DecodeTrace, Decoder, DecoderFamily,
     DecoderSpec, FixedConfig, FixedDecoder, GallagerBDecoder, IterationStats, LayeredMinSumDecoder,
-    MinSumConfig, MinSumDecoder, MinSumVariant, PerFrame, QcLayeredDecoder, Scaling,
-    SelfCorrectedMinSumDecoder, SpecError, SumProductDecoder, WeightedBitFlipDecoder,
+    MinSumConfig, MinSumDecoder, MinSumVariant, PackedFixedDecoder, PerFrame, QcLayeredDecoder,
+    Scaling, SelfCorrectedMinSumDecoder, SpecError, SumProductDecoder, WeightedBitFlipDecoder,
+    PACK_LANES,
 };
 pub use encoder::Encoder;
 pub use error::{CodeError, EncodeError};

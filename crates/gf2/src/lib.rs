@@ -15,6 +15,9 @@
 //!   the ones in its first row, as used by quasi-cyclic LDPC codes.
 //! * [`BitSlices`] — the frame-major ⇄ word-sliced (bit-plane) transpose
 //!   used by bit-sliced decoding: 64 frames per `u64` lane word.
+//! * [`ByteSlices`] — the same transpose at byte granularity: 8 frames of
+//!   `i8` values per `u64` word, the layout the SWAR soft datapath packs
+//!   its saturating fixed-point messages into.
 //!
 //! # Example
 //!
@@ -36,12 +39,14 @@
 mod bitvec;
 mod circulant;
 mod dense;
+pub mod lanes;
 mod slices;
 mod sparse;
 
 pub use bitvec::BitVec;
 pub use circulant::Circulant;
 pub use dense::{DenseMatrix, Rref};
+pub use lanes::{ByteSlices, BYTE_LANES};
 pub use slices::{BitSlices, WORD_LANES};
 pub use sparse::SparseMatrix;
 

@@ -84,10 +84,10 @@ fn registry_is_complete() {
             "family {name} is parseable but missing from DecoderSpec::all_families()"
         );
     }
-    // 10 scalar families + 3 packed mirrors. Update both the grammar and
+    // 10 scalar families + 4 packed mirrors. Update both the grammar and
     // this count when registering a new family.
     assert_eq!(DecoderSpec::family_names().len(), 10);
-    assert_eq!(all.len(), 13);
+    assert_eq!(all.len(), 14);
     // Canonical specs round trip through the grammar.
     for spec in &all {
         assert_eq!(
@@ -155,13 +155,14 @@ fn documented_bit_exact_pairs_agree() {
     let code = demo_code();
     let llrs = corpus();
     // Every grammar-reachable packed mirror, not just the registry's
-    // canonical three: ms@batch and oms@batch share the batched min-sum
+    // canonical four: ms@batch and oms@batch share the batched min-sum
     // datapath but exercise the plain/offset correction arms.
     let pairs = [
         ("ms", "ms@batch=8"),
         ("nms", "nms@batch=8"),
         ("oms", "oms@batch=8"),
         ("fixed", "fixed@batch=8"),
+        ("fixed", "fixed@pack=8"),
         ("gallager-b", "gallager-b@bitslice"),
     ];
     for (reference, mirror) in pairs {
@@ -242,6 +243,67 @@ fn every_family_sound_and_deterministic_on_bsc_and_rayleigh() {
             any_success > 0,
             "{channel}: no family decoded anything — corpus broken?"
         );
+    }
+}
+
+/// Reorders a frame-major corpus so consecutive frames cycle through the
+/// operating points: every 8-frame word a packed decoder forms then
+/// mixes immediately-converging, late-converging, and never-converging
+/// lanes.
+fn stripe_operating_points(llrs: &[f32], n: usize, points: usize) -> Vec<f32> {
+    let frames = llrs.len() / n;
+    let per_point = frames / points;
+    let mut out = Vec::with_capacity(llrs.len());
+    for i in 0..per_point {
+        for p in 0..points {
+            let f = p * per_point + i;
+            out.extend_from_slice(&llrs[f * n..(f + 1) * n]);
+        }
+    }
+    out
+}
+
+/// The SWAR-packed `fixed@pack=8` lanes against scalar `fixed`, under
+/// **mixed per-lane convergence**: the corpora are striped across their
+/// operating points so every packed word holds lanes that retire at
+/// different iterations (and some that never do). Hard decisions,
+/// convergence flags, and iteration counts must be bit-exact per lane on
+/// every channel model — AWGN, BSC, and Rayleigh fading.
+#[test]
+fn packed_fixed_lanes_bit_exact_under_mixed_convergence() {
+    let code = demo_code();
+    let n = code.n();
+    let corpora = [
+        ("awgn", corpus(), 5),
+        ("bsc:0.02", channel_corpus("bsc:0.02"), 4),
+        ("rayleigh", channel_corpus("rayleigh"), 4),
+    ];
+    for (channel, llrs, points) in corpora {
+        let striped = stripe_operating_points(&llrs, n, points);
+        let want = DecoderSpec::parse("fixed")
+            .unwrap()
+            .build(&code)
+            .decode_block(&striped, MAX_ITERATIONS);
+        let got = DecoderSpec::parse("fixed@pack=8")
+            .unwrap()
+            .build(&code)
+            .decode_block(&striped, MAX_ITERATIONS);
+        assert_eq!(want.len(), got.len(), "{channel}: result count mismatch");
+        // Words genuinely mix convergence: the first word must hold both
+        // a converged and an unconverged lane, or the striping is broken.
+        assert!(
+            want[..8].iter().any(|r| r.converged) && want[..8].iter().any(|r| !r.converged),
+            "{channel}: first packed word does not mix convergence"
+        );
+        for (f, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "{channel}: packed lane {} of word {} diverged from scalar fixed on frame {f}",
+                f % 8,
+                f / 8
+            );
+        }
     }
 }
 

@@ -257,8 +257,26 @@ const GOLDEN_REGISTRY: &[(&str, u64)] = &[
     // constants frozen before the registry existed.
     ("nms@batch=8", 13624013924586681079),
     ("fixed@batch=8", 13121139592671188269),
+    ("fixed@pack=8", 13121139592671188269),
     ("gallager-b@bitslice", 7840324428456516466),
 ];
+
+/// The packed-mirror promise, stated on the frozen constants themselves:
+/// `fixed@pack=8`'s fingerprint IS scalar `fixed`'s (and `fixed@batch=8`'s)
+/// — the SWAR datapath changes the execution, never the results. A
+/// divergence here means the packed decoder stopped being bit-exact.
+#[test]
+fn packed_fixed_fingerprint_coincides_with_scalar_fixed() {
+    let find = |name: &str| {
+        GOLDEN_REGISTRY
+            .iter()
+            .find(|(frozen, _)| *frozen == name)
+            .unwrap_or_else(|| panic!("{name} missing from GOLDEN_REGISTRY"))
+            .1
+    };
+    assert_eq!(find("fixed@pack=8"), find("fixed"));
+    assert_eq!(find("fixed@pack=8"), GOLDEN_BATCH_FIXED);
+}
 
 #[test]
 fn registry_family_golden_vectors() {
