@@ -47,7 +47,9 @@ impl fmt::Display for ArgError {
 impl Error for ArgError {}
 
 /// Options that never take a value.
-const BOOLEAN_FLAGS: &[&str] = &["random", "zeros", "help", "c2", "demo", "hard", "bitslice"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "random", "zeros", "help", "c2", "demo", "hard", "bitslice", "adaptive", "resume",
+];
 
 impl ParsedArgs {
     /// Parses raw arguments (without the program name).

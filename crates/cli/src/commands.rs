@@ -12,12 +12,13 @@ use ldpc_hwsim::{
     ThroughputModel,
 };
 use ldpc_sim::{
-    run_curve_scenario_with, run_point_scenario, split_spec_list, MonteCarloConfig, Scenario,
-    Transmission,
+    run_curve_scenario_with, run_point_scenario, run_sweep, split_spec_list, sweep_grid,
+    MonteCarloConfig, Scenario, SweepConfig, SweepUnitResult, Transmission,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
+use std::path::PathBuf;
 
 /// Dispatches a parsed command line.
 ///
@@ -63,6 +64,19 @@ COMMANDS:
                             grid sweep: one long-format CSV over every
                             code x channel x decoder x Eb/N0 combination,
                             all through the one Monte-Carlo engine
+  sweep ... --adaptive [--target-errors K] [--chunk-frames N]
+        [--resume] [--cache-dir DIR] [--json PATH]
+                            adaptive sweep: chunks of every grid point are
+                            work-stolen across all cores, and each point
+                            runs until K frame errors (default 100; 0 =
+                            run to the --frames cap, rounded up to whole
+                            chunks). --resume caches finished chunks under
+                            --cache-dir (default .ldpc-sweep-cache), so a
+                            re-run simulates nothing and a larger budget
+                            simulates only the extension; merged counts
+                            are independent of --threads and of resuming.
+                            --json PATH also writes machine-readable
+                            results (the BENCH_SWEEP.json format)
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
@@ -357,30 +371,117 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         None => vec![args.get_or("ebn0", 4.0)?],
     };
     let base = mc_config_from_args(args, &codes)?;
-    let mut out = format!("{CSV_HEADER}\n");
-    for code in &codes {
-        // Each code is built once for the whole grid (an AR4JA lift or a
-        // shortened view's encoder is not free), then shared across every
-        // channel × decoder × Eb/N0 combination.
-        let handle = code.build()?;
-        for channel in &channels {
-            for decoder in &decoders {
-                // One engine, one seed derivation: every scenario sweeps
-                // the same Eb/N0 points through run_curve_scenario_with,
-                // so a sweep row reproduces a simulate run with the same
-                // flags at the same point index.
-                let scenario = Scenario {
-                    code: *code,
-                    channel: *channel,
-                    decoder: decoder.clone(),
-                };
-                for point in run_curve_scenario_with(&handle, &scenario, &ebn0s, &base) {
-                    out.push_str(&scenario_csv_row(&scenario, &point));
-                    out.push('\n');
+    let adaptive = args.flag("adaptive") || args.flag("resume");
+    if !adaptive {
+        for opt in ["target-errors", "chunk-frames", "cache-dir", "json"] {
+            if args.get(opt).is_some() {
+                return Err(format!(
+                    "--{opt} applies to the adaptive sweep; add --adaptive (or --resume)"
+                )
+                .into());
+            }
+        }
+        let mut out = format!("{CSV_HEADER}\n");
+        for code in &codes {
+            // Each code is built once for the whole grid (an AR4JA lift or a
+            // shortened view's encoder is not free), then shared across every
+            // channel × decoder × Eb/N0 combination.
+            let handle = code.build()?;
+            for channel in &channels {
+                for decoder in &decoders {
+                    // One engine, one seed derivation: every scenario sweeps
+                    // the same Eb/N0 points through run_curve_scenario_with,
+                    // so a sweep row reproduces a simulate run with the same
+                    // flags at the same point index.
+                    let scenario = Scenario {
+                        code: *code,
+                        channel: *channel,
+                        decoder: decoder.clone(),
+                    };
+                    for point in run_curve_scenario_with(&handle, &scenario, &ebn0s, &base) {
+                        out.push_str(&scenario_csv_row(&scenario, &point));
+                        out.push('\n');
+                    }
                 }
             }
         }
+        return Ok(out);
     }
+    cmd_sweep_adaptive(args, &codes, &channels, &decoders, &ebn0s, &base)
+}
+
+/// The adaptive/resumable sweep path: the same grid and seed derivation
+/// as the legacy sweep, orchestrated through `ldpc_sim::run_sweep` —
+/// chunked work stealing across points, per-point stopping at
+/// `--target-errors`, and (with `--resume` / `--cache-dir`) a
+/// content-addressed chunk cache that makes re-runs incremental.
+///
+/// The CSV goes to stdout like every other command; rows extend the
+/// legacy 8 columns (identical prefix, pinned by tests) with the error
+/// count, the Wilson 95 % PER interval, and the resume accounting.
+/// `--json PATH` additionally writes the machine-readable result set.
+fn cmd_sweep_adaptive(
+    args: &ParsedArgs,
+    codes: &[CodeSpec],
+    channels: &[ChannelSpec],
+    decoders: &[DecoderSpec],
+    ebn0s: &[f64],
+    base: &MonteCarloConfig,
+) -> Result<String, Box<dyn Error>> {
+    let chunk_frames: u64 = args.get_or("chunk-frames", 1_000u64)?;
+    if chunk_frames == 0 {
+        return Err(Box::new(ArgError::InvalidValue {
+            option: "chunk-frames".into(),
+            value: "0".into(),
+        }));
+    }
+    let cache_dir = match args.get("cache-dir") {
+        Some(path) => Some(PathBuf::from(path)),
+        None if args.flag("resume") => Some(PathBuf::from(".ldpc-sweep-cache")),
+        None => None,
+    };
+    let cfg = SweepConfig {
+        max_frames: base.max_frames,
+        target_frame_errors: args.get_or("target-errors", 100u64)?,
+        chunk_frames,
+        max_iterations: base.max_iterations,
+        threads: base.threads,
+        cache_dir,
+        progress_frames: None,
+    };
+    let mut scenarios = Vec::with_capacity(codes.len() * channels.len() * decoders.len());
+    for code in codes {
+        for channel in channels {
+            for decoder in decoders {
+                scenarios.push(Scenario {
+                    code: *code,
+                    channel: *channel,
+                    decoder: decoder.clone(),
+                });
+            }
+        }
+    }
+    let units = sweep_grid(&scenarios, ebn0s, base.seed);
+    let started = std::time::Instant::now();
+    let results = run_sweep(&units, &cfg)?;
+    let mut out = format!("{ADAPTIVE_CSV_HEADER}\n");
+    for result in &results {
+        out.push_str(&adaptive_csv_row(result));
+        out.push('\n');
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, sweep_json(&results, &cfg))
+            .map_err(|e| format!("writing --json {path}: {e}"))?;
+    }
+    let simulated: u64 = results.iter().map(|r| r.frames_simulated).sum();
+    let cached: u64 = results.iter().map(|r| r.frames_from_cache).sum();
+    // Progress/accounting goes to stderr so stdout stays exactly the CSV
+    // (and a warm re-run stays byte-identical to the cold one).
+    eprintln!(
+        "sweep: {} point(s), {simulated} frame(s) simulated, {cached} from cache, {:.2}s",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
     Ok(out)
 }
 
@@ -388,11 +489,12 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 const CSV_HEADER: &str = "code,channel,decoder,ebn0_db,frames,ber,per,avg_iterations";
 
 /// Renders one CSV field, quoting per RFC 4180 when the value contains
-/// a comma (a `shortened:c2,k=4096` code spec) or a quote, so every row
-/// keeps exactly the header's field count under any standard CSV
-/// reader.
+/// a comma (a `shortened:c2,k=4096` code spec), a quote, or a CR/LF —
+/// an embedded line break would otherwise split one record in two — so
+/// every row keeps exactly the header's field count under any standard
+/// CSV reader.
 fn csv_field(value: &str) -> String {
-    if value.contains(',') || value.contains('"') {
+    if value.contains([',', '"', '\r', '\n']) {
         format!("\"{}\"", value.replace('"', "\"\""))
     } else {
         value.to_string()
@@ -416,6 +518,105 @@ fn scenario_csv_row(scenario: &Scenario, point: &ldpc_sim::PointResult) -> Strin
         point.per(),
         point.avg_iterations()
     )
+}
+
+/// The adaptive sweep's CSV header: the legacy 8 columns (same order,
+/// same formats) extended with the raw error count, the Wilson 95 % PER
+/// interval, and which rule stopped the point. Every column is a
+/// function of the *merged* counts — invariant under thread count and
+/// under cold/warm/resumed execution — so a warm re-run's CSV is
+/// byte-identical to the cold one. The per-run resume accounting
+/// (frames simulated vs adopted from cache) is provenance, not result:
+/// it goes to the `--json` file and the stderr summary instead.
+const ADAPTIVE_CSV_HEADER: &str = "code,channel,decoder,ebn0_db,frames,ber,per,avg_iterations,\
+                                   frame_errors,per_lo,per_hi,stopped_by";
+
+/// One adaptive-sweep CSV row. Built on [`scenario_csv_row`], so the
+/// first eight columns are byte-identical to what the legacy sweep
+/// would print for the same merged counts (pinned by tests).
+fn adaptive_csv_row(result: &SweepUnitResult) -> String {
+    let (per_lo, per_hi) = result.point.per_confidence();
+    format!(
+        "{},{},{per_lo:.6e},{per_hi:.6e},{}",
+        scenario_csv_row(&result.scenario, &result.point),
+        result.point.frame_errors,
+        if result.hit_target { "target" } else { "cap" }
+    )
+}
+
+/// Escapes a string for a JSON literal (spec strings are plain ASCII,
+/// but the writer must not be the component that trusts that).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a rate for JSON: a finite value in exponent notation, `null`
+/// when undefined (a zero-frame point).
+fn json_rate(x: f64) -> String {
+    if x.is_nan() {
+        "null".to_string()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+/// The machine-readable result set written by `sweep --json PATH` (the
+/// `BENCH_SWEEP.json` format). Deliberately excludes wall time so that
+/// a warm re-run produces byte-identical JSON except for the resume
+/// accounting — `total_frames_simulated` is the field CI greps to
+/// assert a warm cache simulated nothing.
+fn sweep_json(results: &[SweepUnitResult], cfg: &SweepConfig) -> String {
+    let mut json = String::from("{\n  \"tool\": \"ldpc-tool sweep\",\n  \"adaptive\": true,\n");
+    json.push_str(&format!(
+        "  \"target_frame_errors\": {},\n  \"chunk_frames\": {},\n  \"max_frames\": {},\n",
+        cfg.target_frame_errors, cfg.chunk_frames, cfg.max_frames
+    ));
+    let simulated: u64 = results.iter().map(|r| r.frames_simulated).sum();
+    let cached: u64 = results.iter().map(|r| r.frames_from_cache).sum();
+    json.push_str(&format!(
+        "  \"total_frames_simulated\": {simulated},\n  \"total_frames_from_cache\": {cached},\n"
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let (per_lo, per_hi) = r.point.per_confidence();
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ebn0_db\": {:?}, \"frames\": {}, \
+             \"bit_errors\": {}, \"frame_errors\": {}, \"undetected_frame_errors\": {}, \
+             \"total_iterations\": {}, \"ber\": {}, \"per\": {}, \
+             \"per_lo\": {per_lo:.6e}, \"per_hi\": {per_hi:.6e}, \
+             \"frames_simulated\": {}, \"frames_from_cache\": {}, \"chunks_merged\": {}, \
+             \"effective_max_frames\": {}, \"hit_target\": {}}}{}\n",
+            json_escape(&r.scenario.to_string()),
+            r.ebn0_db,
+            r.point.frames,
+            r.point.bit_errors,
+            r.point.frame_errors,
+            r.point.undetected_frame_errors,
+            r.point.total_iterations,
+            json_rate(r.point.ber()),
+            json_rate(r.point.per()),
+            r.frames_simulated,
+            r.frames_from_cache,
+            r.chunks_merged,
+            r.effective_max_frames,
+            r.hit_target,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
 }
 
 fn cmd_plan(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
@@ -1043,6 +1244,177 @@ mod tests {
         assert!(err.to_string().contains("known families"), "{err}");
         let err = run(&parsed(&["simulate", "--demo", "--channel", "zeta"])).unwrap_err();
         assert!(err.to_string().contains("known models"), "{err}");
+    }
+
+    #[test]
+    fn csv_field_quotes_commas_quotes_and_line_breaks() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        // RFC 4180: an unquoted CR or LF would split one record in two.
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("a\r\nb"), "\"a\r\nb\"");
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ldpc-cli-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn adaptive_sweep_extends_the_legacy_rows_exactly() {
+        // With the target disabled and a whole-budget chunk, the adaptive
+        // path runs the very same engine calls as the legacy sweep: its
+        // rows must be the legacy rows plus the new columns.
+        let shared = [
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms:1.25,fixed",
+            "--ebn0s",
+            "4.0,6.0",
+            "--frames",
+            "24",
+            "--iters",
+            "6",
+            "--threads",
+            "1",
+            "--seed",
+            "5",
+        ];
+        let legacy = run(&parsed(&shared)).unwrap();
+        let mut adaptive_args = shared.to_vec();
+        adaptive_args.extend(["--adaptive", "--target-errors", "0", "--chunk-frames", "24"]);
+        let adaptive = run(&parsed(&adaptive_args)).unwrap();
+        let legacy_lines: Vec<&str> = legacy.lines().collect();
+        let adaptive_lines: Vec<&str> = adaptive.lines().collect();
+        assert_eq!(adaptive_lines[0], ADAPTIVE_CSV_HEADER);
+        assert!(ADAPTIVE_CSV_HEADER.starts_with(CSV_HEADER));
+        assert_eq!(legacy_lines.len(), adaptive_lines.len());
+        for (legacy_row, adaptive_row) in legacy_lines.iter().zip(&adaptive_lines).skip(1) {
+            assert!(
+                adaptive_row.starts_with(*legacy_row),
+                "adaptive row {adaptive_row:?} does not extend {legacy_row:?}"
+            );
+            assert!(adaptive_row.ends_with(",cap"), "{adaptive_row}");
+        }
+        // Determinism: the adaptive path is as reproducible as the engine.
+        assert_eq!(adaptive, run(&parsed(&adaptive_args)).unwrap());
+    }
+
+    #[test]
+    fn adaptive_sweep_stops_on_target() {
+        // At -4 dB every demo frame errors, so one 20-frame chunk covers
+        // a target of 3.
+        let out = run(&parsed(&[
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms:1.25",
+            "--ebn0s",
+            "-4.0",
+            "--frames",
+            "200",
+            "--chunk-frames",
+            "20",
+            "--target-errors",
+            "3",
+            "--iters",
+            "6",
+            "--threads",
+            "1",
+            "--adaptive",
+        ]))
+        .unwrap();
+        let row = out.lines().nth(1).unwrap();
+        assert!(row.starts_with("demo,awgn,nms:1.25,-4.000,20,"), "{row}");
+        assert!(row.ends_with(",target"), "{row}");
+    }
+
+    #[test]
+    fn adaptive_resume_rerun_is_byte_identical_with_zero_frames_simulated() {
+        let cache = temp_path("resume-cache");
+        let json = temp_path("resume.json");
+        let _ = std::fs::remove_dir_all(&cache);
+        let cache_s = cache.to_str().unwrap().to_owned();
+        let json_s = json.to_str().unwrap().to_owned();
+        let args = [
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms:1.25",
+            "--ebn0s",
+            "2.0,4.0",
+            "--frames",
+            "60",
+            "--chunk-frames",
+            "30",
+            "--target-errors",
+            "0",
+            "--iters",
+            "6",
+            "--threads",
+            "1",
+            "--resume",
+            "--cache-dir",
+            &cache_s,
+            "--json",
+            &json_s,
+        ];
+        let cold = run(&parsed(&args)).unwrap();
+        let cold_json = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            cold_json.contains("\"total_frames_simulated\": 120"),
+            "{cold_json}"
+        );
+        let warm = run(&parsed(&args)).unwrap();
+        let warm_json = std::fs::read_to_string(&json).unwrap();
+        assert_eq!(cold, warm, "warm CSV must be byte-identical");
+        assert!(
+            warm_json.contains("\"total_frames_simulated\": 0"),
+            "{warm_json}"
+        );
+        assert!(
+            warm_json.contains("\"total_frames_from_cache\": 120"),
+            "{warm_json}"
+        );
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn adaptive_flags_require_adaptive_mode() {
+        for (opt, value) in [
+            ("--target-errors", "50"),
+            ("--chunk-frames", "100"),
+            ("--cache-dir", "/tmp/x"),
+            ("--json", "/tmp/x.json"),
+        ] {
+            let err = run(&parsed(&[
+                "sweep",
+                "--demo",
+                "--decoders",
+                "nms",
+                opt,
+                value,
+            ]))
+            .unwrap_err();
+            assert!(err.to_string().contains("--adaptive"), "{opt}: {err}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_rejects_zero_chunk_frames() {
+        let err = run(&parsed(&[
+            "sweep",
+            "--demo",
+            "--decoders",
+            "nms",
+            "--adaptive",
+            "--chunk-frames",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("chunk-frames"), "{err}");
     }
 
     #[test]

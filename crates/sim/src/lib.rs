@@ -18,6 +18,11 @@
 //!   not cover (alpha schedules, custom quantization);
 //! * [`run_curve_spec`] / [`run_curve_blocks`] — sweep a list of Eb/N0
 //!   points (Figure 4's x-axis);
+//! * [`run_sweep`] — the orchestrated door: a grid of (scenario, Eb/N0)
+//!   units ([`sweep_grid`]) chunked over a work-stealing worker pool
+//!   with adaptive per-point stopping (run to a frame-error target or a
+//!   cap) and a content-addressed on-disk cache ([`SweepConfig`]) that
+//!   makes re-runs and budget extensions incremental;
 //! * [`PointResult`] — error counts with BER/PER accessors and Wilson
 //!   confidence intervals; [`to_csv`] renders a sweep for plotting.
 //!
@@ -60,9 +65,14 @@
 #![warn(missing_docs)]
 
 mod gain;
+mod orchestrator;
 mod scenario;
 
 pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
+pub use orchestrator::{
+    chunk_key, run_sweep, sha256_hex, sweep_grid, SweepConfig, SweepError, SweepUnit,
+    SweepUnitResult,
+};
 pub use scenario::{
     run_curve_scenario, run_curve_scenario_with, run_point_scenario, run_point_scenario_with,
     split_spec_list, Scenario, ScenarioError,
@@ -148,25 +158,33 @@ pub struct PointResult {
 
 impl PointResult {
     /// Information bit-error rate.
+    ///
+    /// [`f64::NAN`] when no frame was simulated — a never-run point must
+    /// not masquerade as a genuinely error-free one (`0/N` and `0/0` are
+    /// different claims; [`to_csv`] renders the latter as an empty field).
     pub fn ber(&self) -> f64 {
         if self.frames == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.bit_errors as f64 / (self.frames * self.info_bits_per_frame) as f64
     }
 
     /// Packet (frame) error rate — the paper's PER.
+    ///
+    /// [`f64::NAN`] when no frame was simulated (see [`ber`](Self::ber)).
     pub fn per(&self) -> f64 {
         if self.frames == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.frame_errors as f64 / self.frames as f64
     }
 
     /// Mean decoder iterations per frame.
+    ///
+    /// [`f64::NAN`] when no frame was simulated (see [`ber`](Self::ber)).
     pub fn avg_iterations(&self) -> f64 {
         if self.frames == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.total_iterations as f64 / self.frames as f64
     }
@@ -340,8 +358,21 @@ where
         &ChannelSpec::awgn(),
         cfg,
         factory,
+        None,
     )
 }
+
+/// Seed offset between consecutive curve points (`run_curve_*` and the
+/// sweep orchestrator derive point `i`'s seed as
+/// `base.seed + i * CURVE_SEED_STRIDE`).
+pub(crate) const CURVE_SEED_STRIDE: u64 = 0x5151_5151;
+
+/// Seed offset between the engine's per-worker noise streams (worker
+/// `t` of a point seeded `s` draws from `s + (t + 1) * WORKER_SEED_STRIDE`).
+/// The orchestrator reuses the same stride for its chunk streams, so
+/// chunk `c` (always single-threaded) draws exactly the stream worker
+/// `t = c` of a multithreaded run of the same point would.
+pub(crate) const WORKER_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The shared worker loop behind every `run_point*` door, generic over
 /// the code's transmission profile and the channel model.
@@ -354,6 +385,13 @@ where
 /// full-length decoder input by the handle (identity for plain codes,
 /// known-bit certainty for shortened positions, erasures for punctured
 /// ones). Errors are counted over `count_positions`.
+///
+/// `progress` (when given) is incremented by the number of frames each
+/// worker claims, at claim time. Because claims go through a capped CAS,
+/// the increments over one engine run never exceed `cfg.max_frames` —
+/// the counter is a live progress gauge, not an overshooting one (the
+/// sweep orchestrator shares one counter across every chunk it runs).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_point_engine<F, B>(
     handle: &dyn CodeHandle,
     encoder: Option<&Arc<Encoder>>,
@@ -361,6 +399,7 @@ pub(crate) fn run_point_engine<F, B>(
     channel_spec: &ChannelSpec,
     cfg: &MonteCarloConfig,
     factory: F,
+    progress: Option<&AtomicU64>,
 ) -> PointResult
 where
     F: Fn() -> B + Sync,
@@ -412,7 +451,7 @@ where
                 // Disjoint deterministic streams per worker.
                 let worker_seed = cfg
                     .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+                    .wrapping_add(WORKER_SEED_STRIDE.wrapping_mul(t as u64 + 1));
                 let mut channel = channel_spec.build(cfg.ebn0_db, rate, worker_seed);
                 let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
                 let zero = BitVec::zeros(n);
@@ -425,12 +464,33 @@ where
                     {
                         break;
                     }
-                    let claimed = frames_claimed.fetch_add(block, Ordering::Relaxed);
-                    if claimed >= cfg.max_frames {
+                    // Claim up to one block, never past the cap: a capped
+                    // CAS (instead of an unconditional fetch_add) keeps
+                    // `frames_claimed` ≤ max_frames under any number of
+                    // racing workers, so the counter doubles as an exact
+                    // progress gauge. The final claim may be partial.
+                    let mut current = frames_claimed.load(Ordering::Relaxed);
+                    let count = loop {
+                        if current >= cfg.max_frames {
+                            break 0;
+                        }
+                        let next = cfg.max_frames.min(current + block);
+                        match frames_claimed.compare_exchange_weak(
+                            current,
+                            next,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break next - current,
+                            Err(seen) => current = seen,
+                        }
+                    };
+                    if count == 0 {
                         break;
                     }
-                    // The final block may be partial.
-                    let count = block.min(cfg.max_frames - claimed);
+                    if let Some(progress) = progress {
+                        progress.fetch_add(count, Ordering::Relaxed);
+                    }
                     llrs.clear();
                     codewords.clear();
                     for _ in 0..count {
@@ -618,7 +678,7 @@ where
         .map(|(i, &ebn0_db)| {
             let cfg = MonteCarloConfig {
                 ebn0_db,
-                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
+                seed: base.seed.wrapping_add(i as u64 * CURVE_SEED_STRIDE),
                 ..base.clone()
             };
             run_point_blocks(code, encoder, &cfg, &factory)
@@ -677,16 +737,32 @@ where
 
 /// Renders a sweep as CSV with header
 /// `ebn0_db,frames,ber,per,avg_iterations,undetected`.
+///
+/// Statistics that are undefined because a point simulated zero frames
+/// (NaN from [`PointResult::ber`] and friends) render as *empty* fields —
+/// distinguishable from a genuine `0.000000e0` under any CSV reader.
 pub fn to_csv(points: &[PointResult]) -> String {
+    let rate = |x: f64| {
+        if x.is_nan() {
+            String::new()
+        } else {
+            format!("{x:.6e}")
+        }
+    };
     let mut out = String::from("ebn0_db,frames,ber,per,avg_iterations,undetected\n");
     for p in points {
+        let iters = if p.avg_iterations().is_nan() {
+            String::new()
+        } else {
+            format!("{:.2}", p.avg_iterations())
+        };
         out.push_str(&format!(
-            "{:.3},{},{:.6e},{:.6e},{:.2},{}\n",
+            "{:.3},{},{},{},{},{}\n",
             p.ebn0_db,
             p.frames,
-            p.ber(),
-            p.per(),
-            p.avg_iterations(),
+            rate(p.ber()),
+            rate(p.per()),
+            iters,
             p.undetected_frame_errors
         ));
     }
@@ -803,6 +879,112 @@ mod tests {
         let csv = to_csv(&points);
         assert!(csv.starts_with("ebn0_db,frames"));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn zero_frame_point_statistics_are_nan_not_zero() {
+        // A never-run (or cache-miss) point must not masquerade as a
+        // genuinely error-free one: 0/0 is NaN, and the CSV renders it
+        // as an empty field rather than 0.0e0.
+        let empty = PointResult {
+            ebn0_db: 4.0,
+            frames: 0,
+            bit_errors: 0,
+            frame_errors: 0,
+            undetected_frame_errors: 0,
+            total_iterations: 0,
+            info_bits_per_frame: 100,
+        };
+        assert!(empty.ber().is_nan());
+        assert!(empty.per().is_nan());
+        assert!(empty.avg_iterations().is_nan());
+        assert_eq!(empty.per_confidence(), (0.0, 1.0));
+        let csv = to_csv(&[empty]);
+        assert_eq!(
+            csv.lines().nth(1).unwrap(),
+            "4.000,0,,,,0",
+            "NaN statistics must render as empty CSV fields"
+        );
+        // A genuinely error-free point still renders explicit zeros.
+        let clean = PointResult {
+            frames: 10,
+            total_iterations: 10,
+            ..empty
+        };
+        assert_eq!(clean.ber(), 0.0);
+        assert_eq!(clean.per(), 0.0);
+        assert!(to_csv(&[clean])
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains("0.000000e0"));
+    }
+
+    /// Drives the engine directly with an external progress counter: the
+    /// capped CAS claim must keep the claimed-frames gauge at or below
+    /// `max_frames` no matter how many workers race over a tiny budget
+    /// (the old unconditional `fetch_add` overshot by up to
+    /// `threads × block`).
+    #[test]
+    fn claim_counter_never_overshoots_max_frames() {
+        let code = demo_code();
+        let handle = PlainCode::new(Arc::clone(&code));
+        let positions: Vec<u32> = (0..code.n() as u32).collect();
+        // 8 workers × block 8 over a 10-frame budget: maximal contention.
+        let cfg = MonteCarloConfig {
+            max_frames: 10,
+            threads: 8,
+            ..quick_cfg(4.0)
+        };
+        for _ in 0..5 {
+            let progress = AtomicU64::new(0);
+            let point = run_point_engine(
+                &handle,
+                None,
+                &positions,
+                &ChannelSpec::awgn(),
+                &cfg,
+                || spec("fixed@batch=8").build(&code),
+                Some(&progress),
+            );
+            assert_eq!(point.frames, 10);
+            assert_eq!(
+                progress.load(Ordering::Relaxed),
+                10,
+                "claimed frames overshot the cap"
+            );
+        }
+    }
+
+    /// With a frame-error target, each worker can have at most one block
+    /// in flight past the stop: at an SNR where every frame errors, the
+    /// total simulated frames are bounded by the target's own stop point
+    /// plus `threads × block`.
+    #[test]
+    fn target_stop_overshoot_is_bounded() {
+        let code = demo_code();
+        let block = 8u64;
+        let threads = 4u64;
+        let target = 5u64;
+        let cfg = MonteCarloConfig {
+            max_frames: 100_000,
+            target_frame_errors: target,
+            threads: threads as usize,
+            ..quick_cfg(-10.0) // every frame is a frame error down here
+        };
+        let point = run_point_spec(&code, None, &cfg, &spec("fixed@batch=8"));
+        assert_eq!(
+            point.frame_errors, point.frames,
+            "the bound below assumes every frame errors at -10 dB"
+        );
+        assert!(point.frames <= cfg.max_frames);
+        let stop = target.div_ceil(block) * block; // frames a lone worker needs
+        assert!(
+            point.frames <= stop + threads * block,
+            "frames={} > stop {stop} + threads×block {}",
+            point.frames,
+            threads * block
+        );
     }
 
     #[test]

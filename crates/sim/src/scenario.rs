@@ -209,6 +209,18 @@ pub fn run_point_scenario_with(
     scenario: &Scenario,
     cfg: &MonteCarloConfig,
 ) -> PointResult {
+    run_point_scenario_observed(handle, scenario, cfg, None)
+}
+
+/// [`run_point_scenario_with`] plus an optional external progress
+/// counter, incremented at frame-claim time (the orchestrator's live
+/// gauge; see `run_point_engine`).
+pub(crate) fn run_point_scenario_observed(
+    handle: &Arc<dyn CodeHandle>,
+    scenario: &Scenario,
+    cfg: &MonteCarloConfig,
+    progress: Option<&std::sync::atomic::AtomicU64>,
+) -> PointResult {
     let positions = handle.transmitted_positions();
     run_point_engine(
         handle.as_ref(),
@@ -217,6 +229,7 @@ pub fn run_point_scenario_with(
         &scenario.channel,
         cfg,
         || scenario.decoder.build(handle.code()),
+        progress,
     )
 }
 
@@ -260,7 +273,7 @@ pub fn run_curve_scenario_with(
         .map(|(i, &ebn0_db)| {
             let cfg = MonteCarloConfig {
                 ebn0_db,
-                seed: base.seed.wrapping_add(i as u64 * 0x5151_5151),
+                seed: base.seed.wrapping_add(i as u64 * crate::CURVE_SEED_STRIDE),
                 ..base.clone()
             };
             run_point_scenario_with(handle, scenario, &cfg)
