@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! Each bench target under `benches/` regenerates one table or figure of
-//! the paper (see DESIGN.md §9 for the experiment index) and additionally
+//! the paper (see DESIGN.md §10 for the experiment index) and additionally
 //! measures the runtime of the computation behind it with Criterion. The
 //! regenerated rows are printed to stdout so `cargo bench` output doubles
 //! as the reproduction record collected in EXPERIMENTS.md.

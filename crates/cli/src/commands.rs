@@ -36,6 +36,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         "encode" => cmd_encode(args),
         "simulate" => cmd_simulate(args),
         "sweep" => cmd_sweep(args),
+        "serve" => cmd_serve(args),
         "plan" => cmd_plan(args),
         "tables" => Ok(cmd_tables()),
         other => Err(format!("unknown command {other:?} (try `ldpc-tool help`)").into()),
@@ -77,6 +78,16 @@ COMMANDS:
                             are independent of --threads and of resuming.
                             --json PATH also writes machine-readable
                             results (the BENCH_SWEEP.json format)
+  serve [--port N | --addr HOST:PORT] [--max-wait-us N] [--workers N]
+        [--iters N] [--queue-frames N]
+                            decode-as-a-service: newline-delimited TCP
+                            protocol (see docs/scenarios.md recipe 12)
+                            coalescing concurrent clients' frames into
+                            full @pack/@batch/@bitslice words; a frame
+                            waits at most --max-wait-us (default 500)
+                            for word-mates. Drains gracefully on ctrl-c
+                            / SIGTERM / a SHUTDOWN request. Default
+                            127.0.0.1:7878
   plan --mbps X [--iters N] [--clock MHZ]
                             pick the cheapest architecture meeting a rate
   tables                    print the paper's Tables 1-3 from the models
@@ -647,6 +658,53 @@ fn cmd_plan(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     }
 }
 
+/// `serve`: run the decode-as-a-service front end until a shutdown
+/// signal (SIGINT/SIGTERM), a client `SHUTDOWN` request, or a fatal
+/// bind error. Returns the run summary once the drain completes.
+fn cmd_serve(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let addr = match args.get("addr") {
+        Some(a) => {
+            if args.get("port").is_some() {
+                return Err("--addr conflicts with --port; give just one".into());
+            }
+            a.to_string()
+        }
+        None => format!("127.0.0.1:{}", args.get_or("port", 7878u16)?),
+    };
+    let cfg = ldpc_served::ServeConfig {
+        addr: addr.clone(),
+        max_wait: std::time::Duration::from_micros(args.get_or("max-wait-us", 500u64)?),
+        workers: args.get_or("workers", 0usize)?,
+        max_iterations: args.get_or("iters", 18u32)?,
+        queue_frames: args.get_or("queue-frames", 1024usize)?,
+    };
+    // A clean one-line error — an occupied port must not panic.
+    let server = ldpc_served::Server::bind(cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = server.handle();
+    eprintln!(
+        "ldpc-tool serve: listening on {} (ctrl-c, SIGTERM, or a SHUTDOWN request drains and exits)",
+        handle.addr()
+    );
+
+    // SIGINT/SIGTERM handlers only set a flag; this watcher turns the
+    // flag into a graceful drain (a blocked accept() is not interrupted
+    // by the signal — see ldpc_served::signals).
+    let flag = ldpc_served::shutdown_flag();
+    let watcher_handle = handle.clone();
+    let watcher = std::thread::spawn(move || {
+        while !watcher_handle.stopped() {
+            if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                watcher_handle.shutdown();
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    });
+    let summary = server.run();
+    let _ = watcher.join();
+    Ok(format!("{summary}\n"))
+}
+
 fn cmd_tables() -> String {
     let dims = CodeDims::ccsds_c2();
     let mut out = String::new();
@@ -695,7 +753,9 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = help_text();
-        for cmd in ["info", "encode", "simulate", "sweep", "plan", "tables"] {
+        for cmd in [
+            "info", "encode", "simulate", "sweep", "serve", "plan", "tables",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
         // The spec grammar is part of the contract: every family shows up.
@@ -708,6 +768,34 @@ mod tests {
     fn unknown_command_errors() {
         let err = run(&parsed(&["frobnicate"])).unwrap_err();
         assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn serve_bind_failure_is_a_clean_error_not_a_panic() {
+        // Hold the port open so the serve bind must fail.
+        let occupied = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = occupied.local_addr().unwrap().port().to_string();
+        let err = run(&parsed(&["serve", "--port", &port])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cannot bind"), "{msg}");
+        assert!(msg.contains(&port), "{msg}");
+    }
+
+    #[test]
+    fn serve_option_errors_are_clean() {
+        let err = run(&parsed(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:1",
+            "--port",
+            "7878",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("conflicts"), "{err}");
+        let err = run(&parsed(&["serve", "--max-wait-us", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("invalid value"), "{err}");
+        let err = run(&parsed(&["serve", "--port", "notaport"])).unwrap_err();
+        assert!(err.to_string().contains("invalid value"), "{err}");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 /// Quantization and scaling parameters of the fixed-point datapath.
 ///
-/// Defaults match the architecture sized in DESIGN.md §8.4: 6-bit
+/// Defaults match the architecture sized in DESIGN.md §9.4: 6-bit
 /// edge messages, 5-bit channel LLRs at 0.5 LLR per level, and the ×0.75
 /// shift-add normalization (α = 4/3) of the paper's §5.
 #[derive(Debug, Clone, Copy, PartialEq)]

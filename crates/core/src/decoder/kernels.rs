@@ -67,7 +67,7 @@ impl Scaling {
 /// magnitudes, the position of the smallest, and the XOR of input signs.
 ///
 /// This is also exactly the compressed check-node record the high-speed
-/// decoder variant stores in memory (DESIGN.md §8.4).
+/// decoder variant stores in memory (DESIGN.md §9.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CnState {
     /// Smallest input magnitude.

@@ -3,7 +3,7 @@
 use ldpc_core::{FixedConfig, LdpcCode};
 use std::fmt;
 
-/// How check-to-bit messages are stored between phases (DESIGN.md §8.4).
+/// How check-to-bit messages are stored between phases (DESIGN.md §9.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageStorage {
     /// Every edge message is stored individually at the message width.

@@ -25,7 +25,7 @@ impl MemoryBank {
 ///
 /// Memory bits are *exact arithmetic* from the storage layout, not
 /// calibration: the low-cost plan reproduces the paper's ≈290 k bits and
-/// the high-speed plan its ≈1300 kb (see DESIGN.md §8.4 and the tests
+/// the high-speed plan its ≈1300 kb (see DESIGN.md §9.4 and the tests
 /// below).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryPlan {

@@ -1,0 +1,64 @@
+//! SIGINT/SIGTERM → graceful drain, without a signal-handling crate.
+//!
+//! The handler does the only async-signal-safe thing possible: it sets
+//! a static [`AtomicBool`]. The CLI polls that flag from a watcher
+//! thread and calls [`ServerHandle::shutdown`](crate::ServerHandle::shutdown)
+//! — which is deliberate: glibc's `signal()` installs handlers with
+//! `SA_RESTART`, so a blocked `accept()` is *not* interrupted by the
+//! signal; the watcher's wake-up connection is what actually unblocks
+//! it.
+//!
+//! On non-unix targets the flag exists but is never set by a signal;
+//! shutdown then comes from a client `SHUTDOWN` request or a handle.
+
+use std::sync::atomic::AtomicBool;
+
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+    use std::sync::Once;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: flip the flag.
+        super::SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            extern "C" {
+                // libc's classic entry point; present on every unix the
+                // toolchain targets, so no libc crate is needed.
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            let handler = on_signal as extern "C" fn(i32) as usize;
+            // SAFETY: `signal` is the C standard library function; the
+            // handler only stores to an atomic, which is
+            // async-signal-safe.
+            unsafe {
+                signal(SIGINT, handler);
+                signal(SIGTERM, handler);
+            }
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers (once) and returns the flag they
+/// set. Poll it from a watcher thread and call
+/// [`ServerHandle::shutdown`](crate::ServerHandle::shutdown) when it
+/// flips.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN_REQUESTED
+}

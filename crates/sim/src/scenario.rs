@@ -18,6 +18,12 @@
 //! // around it, so AR4JA's rate fraction is unambiguous.
 //! let sc = Scenario::parse("ar4ja:r=2/3,k=1024 / bsc:0.02 / fixed@batch=8")?;
 //! assert_eq!(sc.code.to_string(), "ar4ja:r=2/3");
+//!
+//! // Two-part shorthand: `code / decoder`, channel defaults to awgn.
+//! // The serving wire protocol (`ldpc-served`) and the docs share this
+//! // parser, so "c2 / fixed@pack=8" is a complete spec there.
+//! let sc = Scenario::parse("c2 / fixed@pack=8")?;
+//! assert_eq!(sc.to_string(), "c2 / awgn / fixed@pack=8");
 //! # Ok::<(), ldpc_sim::ScenarioError>(())
 //! ```
 //!
@@ -48,10 +54,12 @@ use std::sync::Arc;
 /// A complete, serializable experiment description: code × channel ×
 /// decoder.
 ///
-/// Parse one from `"<code> / <channel> / <decoder>"` (or assemble the
-/// three specs directly — the fields are public). [`Display`](fmt::Display)
-/// renders the canonical form of each part joined by `" / "`, and
-/// `parse(display(s)) == s` for every valid scenario (proptested).
+/// Parse one from `"<code> / <channel> / <decoder>"`, from the two-part
+/// shorthand `"<code> / <decoder>"` (channel defaults to `awgn`), or
+/// assemble the three specs directly — the fields are public.
+/// [`Display`](fmt::Display) renders the canonical three-part form of
+/// each part joined by `" / "`, and `parse(display(s)) == s` for every
+/// valid scenario (proptested).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// What is transmitted: the code and its transmission profile.
@@ -110,7 +118,7 @@ fn split_parts(s: &str) -> Vec<&str> {
         }
     }
     parts.push(s[start..].trim());
-    if parts.len() == 1 && s.matches('/').count() == 2 {
+    if parts.len() == 1 && matches!(s.matches('/').count(), 1 | 2) {
         return s.split('/').map(str::trim).collect();
     }
     parts
@@ -121,24 +129,49 @@ impl FromStr for Scenario {
 
     fn from_str(s: &str) -> Result<Self, ScenarioError> {
         let parts = split_parts(s.trim());
-        if parts.len() != 3 {
-            return Err(ScenarioError::Shape { found: parts.len() });
+        match parts.len() {
+            2 => {
+                let code = parts[0].parse().map_err(ScenarioError::Code)?;
+                let decoder = match parts[1].parse() {
+                    Ok(d) => d,
+                    // A channel where the decoder belongs means the caller
+                    // meant the 3-part form and stopped early — name it.
+                    Err(_) if parts[1].parse::<ChannelSpec>().is_ok() => {
+                        return Err(ScenarioError::ChannelNeedsDecoder {
+                            channel: parts[1].to_string(),
+                        });
+                    }
+                    Err(e) => return Err(ScenarioError::Decoder(e)),
+                };
+                Ok(Scenario {
+                    code,
+                    channel: ChannelSpec::awgn(),
+                    decoder,
+                })
+            }
+            3 => Ok(Scenario {
+                code: parts[0].parse().map_err(ScenarioError::Code)?,
+                channel: parts[1].parse().map_err(ScenarioError::Channel)?,
+                decoder: parts[2].parse().map_err(ScenarioError::Decoder)?,
+            }),
+            found => Err(ScenarioError::Shape { found }),
         }
-        Ok(Scenario {
-            code: parts[0].parse().map_err(ScenarioError::Code)?,
-            channel: parts[1].parse().map_err(ScenarioError::Channel)?,
-            decoder: parts[2].parse().map_err(ScenarioError::Decoder)?,
-        })
     }
 }
 
 /// Error produced while parsing or building a [`Scenario`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
-    /// The string did not split into exactly code / channel / decoder.
+    /// The string did not split into code / channel / decoder (or the
+    /// two-part code / decoder shorthand).
     Shape {
         /// How many parts were found.
         found: usize,
+    },
+    /// A two-part scenario put a channel where the decoder belongs.
+    ChannelNeedsDecoder {
+        /// The channel spec found in the decoder position.
+        channel: String,
     },
     /// The code part failed to parse or build.
     Code(CodeSpecError),
@@ -153,10 +186,18 @@ impl fmt::Display for ScenarioError {
         match self {
             Self::Shape { found } => write!(
                 f,
-                "a scenario is exactly `code / channel / decoder` \
-                 (e.g. \"c2 / awgn / nms:1.25\"), but {found} part(s) were found; \
-                 separate the parts with ` / ` (slash needs whitespace when a spec \
-                 itself contains one, as in ar4ja:r=1/2)"
+                "a scenario is `code / channel / decoder` \
+                 (e.g. \"c2 / awgn / nms:1.25\") or the two-part shorthand \
+                 `code / decoder` (channel defaults to awgn), but {found} \
+                 part(s) were found; separate the parts with ` / ` (slash \
+                 needs whitespace when a spec itself contains one, as in \
+                 ar4ja:r=1/2)"
+            ),
+            Self::ChannelNeedsDecoder { channel } => write!(
+                f,
+                "two-part scenarios are `code / decoder` (channel defaults \
+                 to awgn), but \"{channel}\" is a channel; name the decoder \
+                 too, as in the full form `code / channel / decoder`"
             ),
             Self::Code(e) => write!(f, "in the code part: {e}"),
             Self::Channel(e) => write!(f, "in the channel part: {e}"),
@@ -355,12 +396,50 @@ mod tests {
     }
 
     #[test]
+    fn two_part_shorthand_defaults_the_channel_to_awgn() {
+        let sc = Scenario::parse("c2 / fixed@pack=8").unwrap();
+        assert_eq!(sc.code, CodeSpec::C2);
+        assert_eq!(sc.channel, ChannelSpec::awgn());
+        // Display stays canonical three-part.
+        assert_eq!(sc.to_string(), "c2 / awgn / fixed@pack=8");
+        assert_eq!(Scenario::parse(&sc.to_string()).unwrap(), sc);
+
+        // Compact form without embedded slashes.
+        let sc = Scenario::parse("demo/nms:1.25").unwrap();
+        assert_eq!(sc.to_string(), "demo / awgn / nms:1.25");
+
+        // Embedded slash in the code part survives with whitespace.
+        let sc = Scenario::parse("ar4ja:r=2/3,k=2048 / gallager-b@bitslice").unwrap();
+        assert_eq!(
+            sc.to_string(),
+            "ar4ja:r=2/3,k=2048 / awgn / gallager-b@bitslice"
+        );
+    }
+
+    #[test]
     fn errors_name_the_offending_part() {
+        // A channel in the decoder slot of a two-part scenario points at
+        // the full three-part form.
         let err = Scenario::parse("c2 / awgn").unwrap_err();
         assert!(
             err.to_string().contains("code / channel / decoder"),
             "{err}"
         );
+        let err = Scenario::parse("c2 / bsc:0.02").unwrap_err();
+        assert!(err.to_string().contains("name the decoder"), "{err}");
+
+        // One part is a shape error naming both accepted forms.
+        let err = Scenario::parse("c2").unwrap_err();
+        assert!(err.to_string().contains("code / decoder"), "{err}");
+        assert!(
+            err.to_string().contains("code / channel / decoder"),
+            "{err}"
+        );
+
+        // Garbage in the decoder slot of a two-part scenario is a
+        // decoder error, not a channel error.
+        let err = Scenario::parse("c2 / zeta").unwrap_err();
+        assert!(err.to_string().contains("decoder part"), "{err}");
 
         let err = Scenario::parse("zeta / awgn / nms").unwrap_err();
         assert!(err.to_string().contains("code part"), "{err}");

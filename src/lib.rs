@@ -18,7 +18,11 @@
 //!   simulator, throughput model (Table 1), and FPGA resource model
 //!   (Tables 2–3);
 //! * [`sim`] — multithreaded Monte-Carlo BER/PER engine (Figure 4);
-//! * [`ar4ja`] — AR4JA deep-space codes, the paper's stated future work.
+//! * [`ar4ja`] — AR4JA deep-space codes, the paper's stated future work;
+//! * [`served`] — decode-as-a-service: a TCP server coalescing many
+//!   clients' frames into full `@pack`/`@batch`/`@bitslice` words under
+//!   a latency budget (the serving mirror of the paper's
+//!   8-frames-in-flight datapath).
 //!
 //! # Quickstart
 //!
@@ -81,3 +85,6 @@ pub use ldpc_sim as sim;
 
 /// AR4JA deep-space codes (re-export of `ldpc-ar4ja`).
 pub use ldpc_ar4ja as ar4ja;
+
+/// Decode-as-a-service TCP server (re-export of `ldpc-served`).
+pub use ldpc_served as served;
