@@ -13,9 +13,11 @@
 //! * [`ebn0_to_sigma`] and friends — Eb/N0 ⇄ noise-level conversions that
 //!   account for the code rate;
 //! * [`ChannelSpec`] — the declarative front door: `"awgn"`, `"bsc:0.02"`,
-//!   `"rayleigh"`, with an optional `@quant=B` LLR-quantization modifier,
-//!   building any registered model behind the object-safe [`Channel`]
-//!   trait (see the [`spec`] module docs for the grammar).
+//!   `"rayleigh"`, `"erasure:0.05"` (symbol erasures to zero LLR), and
+//!   `"burst:0.01,0.3,0.05"` (two-state Gilbert-Elliott bursts), each
+//!   with an optional `@quant=B` LLR-quantization modifier, building any
+//!   registered model behind the object-safe [`Channel`] trait (see the
+//!   [`spec`] module docs for the grammar).
 //!
 //! # Example
 //!
@@ -39,9 +41,12 @@ mod variants;
 
 pub use spec::{
     Channel, ChannelKind, ChannelSpec, ChannelSpecError, QuantizedChannel, DEFAULT_BSC_P,
+    DEFAULT_BURST_P_BAD, DEFAULT_BURST_P_GOOD, DEFAULT_BURST_P_SWITCH, DEFAULT_ERASURE_P,
     QUANT_LLR_STEP,
 };
-pub use variants::{BscChannel, RayleighChannel};
+pub use variants::{
+    BscChannel, ErasureChannel, GilbertElliottChannel, RayleighChannel, ERASURE_KNOWN_LLR,
+};
 
 use gf2::BitVec;
 use rand::rngs::StdRng;

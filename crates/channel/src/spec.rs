@@ -13,6 +13,8 @@
 //! | `awgn` | [`AwgnChannel`] — BPSK over additive white Gaussian noise | — (σ from Eb/N0 and rate) |
 //! | `bsc:0.02` | [`BscChannel`] — binary symmetric, hard-decision input | crossover p ∈ (0, 0.5) (default 0.05) |
 //! | `rayleigh` | [`RayleighChannel`] — flat fading, perfect CSI | — (σ from Eb/N0 and rate) |
+//! | `erasure:0.05` | [`ErasureChannel`] — symbol erasures to zero LLR | erasure p ∈ (0, 1) (default 0.1) |
+//! | `burst:0.01,0.3,0.05` | [`GilbertElliottChannel`] — two-state Markov bursts, per-state CSI | `p_good,p_bad,p_switch` (defaults 0.01, 0.3, 0.05) |
 //!
 //! The one modifier changes *what the demodulator delivers*, not the
 //! channel itself:
@@ -41,13 +43,30 @@
 //! # Ok::<(), ldpc_channel::ChannelSpecError>(())
 //! ```
 
-use crate::{ebn0_to_sigma, AwgnChannel, BscChannel, RayleighChannel};
+use crate::{
+    ebn0_to_sigma, AwgnChannel, BscChannel, ErasureChannel, GilbertElliottChannel, RayleighChannel,
+};
 use gf2::BitVec;
 use std::fmt;
 use std::str::FromStr;
 
 /// Default BSC crossover probability when `bsc` is given without `:p`.
 pub const DEFAULT_BSC_P: f64 = 0.05;
+
+/// Default symbol-erasure probability when `erasure` is given without
+/// `:p` (deliberately distinct from [`DEFAULT_BSC_P`], so the common
+/// operating point `erasure:0.05` renders with its parameter).
+pub const DEFAULT_ERASURE_P: f64 = 0.1;
+
+/// Default Gilbert-Elliott good-state crossover probability.
+pub const DEFAULT_BURST_P_GOOD: f64 = 0.01;
+
+/// Default Gilbert-Elliott bad-state crossover probability.
+pub const DEFAULT_BURST_P_BAD: f64 = 0.3;
+
+/// Default Gilbert-Elliott per-symbol state-switch probability (mean
+/// burst length `1/p_switch` = 20 symbols).
+pub const DEFAULT_BURST_P_SWITCH: f64 = 0.05;
 
 /// LLR value of one quantizer level under `@quant=B` — the same
 /// 0.5 LLR/LSB grid as the hardware datapath's 5-bit channel quantizer
@@ -83,6 +102,18 @@ impl Channel for BscChannel {
 impl Channel for RayleighChannel {
     fn transmit_codeword(&mut self, codeword: &BitVec) -> Vec<f32> {
         RayleighChannel::transmit_codeword(self, codeword)
+    }
+}
+
+impl Channel for ErasureChannel {
+    fn transmit_codeword(&mut self, codeword: &BitVec) -> Vec<f32> {
+        ErasureChannel::transmit_codeword(self, codeword)
+    }
+}
+
+impl Channel for GilbertElliottChannel {
+    fn transmit_codeword(&mut self, codeword: &BitVec) -> Vec<f32> {
+        GilbertElliottChannel::transmit_codeword(self, codeword)
     }
 }
 
@@ -142,15 +173,34 @@ pub enum ChannelKind {
     },
     /// Flat Rayleigh fading with AWGN and perfect CSI.
     Rayleigh,
+    /// Binary erasure channel: symbols erased to zero LLR with
+    /// probability `p`.
+    Erasure {
+        /// Symbol-erasure probability ∈ (0, 1).
+        p: f64,
+    },
+    /// Two-state Gilbert-Elliott Markov burst channel with per-state
+    /// crossover probability and perfect state CSI.
+    Burst {
+        /// Good-state crossover probability ∈ (0, 0.5).
+        p_good: f64,
+        /// Bad-state crossover probability ∈ (0, 0.5).
+        p_bad: f64,
+        /// Per-symbol state-switch probability ∈ (0, 1].
+        p_switch: f64,
+    },
 }
 
 impl ChannelKind {
-    /// The grammar keyword of this model (`awgn`, `bsc`, `rayleigh`).
+    /// The grammar keyword of this model (`awgn`, `bsc`, `rayleigh`,
+    /// `erasure`, `burst`).
     pub fn keyword(&self) -> &'static str {
         match self {
             Self::Awgn => "awgn",
             Self::Bsc { .. } => "bsc",
             Self::Rayleigh => "rayleigh",
+            Self::Erasure { .. } => "erasure",
+            Self::Burst { .. } => "burst",
         }
     }
 }
@@ -189,10 +239,10 @@ impl ChannelSpec {
     /// The grammar keywords of every registered channel model, in
     /// registry order.
     pub fn family_names() -> &'static [&'static str] {
-        &["awgn", "bsc", "rayleigh"]
+        &["awgn", "bsc", "rayleigh", "erasure", "burst"]
     }
 
-    /// One canonical spec per registered channel model — the three
+    /// One canonical spec per registered channel model — the five
     /// models at default parameters, plus the quantized-AWGN mirror at
     /// the hardware's 5-bit width.
     pub fn all_channels() -> Vec<ChannelSpec> {
@@ -207,6 +257,20 @@ impl ChannelSpec {
                 quant: None,
             },
             ChannelSpec {
+                kind: ChannelKind::Erasure {
+                    p: DEFAULT_ERASURE_P,
+                },
+                quant: None,
+            },
+            ChannelSpec {
+                kind: ChannelKind::Burst {
+                    p_good: DEFAULT_BURST_P_GOOD,
+                    p_bad: DEFAULT_BURST_P_BAD,
+                    p_switch: DEFAULT_BURST_P_SWITCH,
+                },
+                quant: None,
+            },
+            ChannelSpec {
                 kind: ChannelKind::Awgn,
                 quant: Some(5),
             },
@@ -217,10 +281,11 @@ impl ChannelSpec {
     /// the object-safe [`Channel`] trait.
     ///
     /// `ebn0_db` and `rate` fix the noise level of the Gaussian models
-    /// (σ from [`ebn0_to_sigma`]); the BSC's operating point is its
-    /// crossover probability alone, so both are ignored there (the BSC
-    /// does not get harder as Eb/N0 drops — sweep `bsc:p` values
-    /// instead). `seed` makes the noise stream deterministic.
+    /// (σ from [`ebn0_to_sigma`]); the BSC, erasure, and burst models
+    /// carry their operating points in their own parameters, so both are
+    /// ignored there (an erasure channel does not get harder as Eb/N0
+    /// drops — sweep `erasure:p` / `burst:...` values instead). `seed`
+    /// makes the noise stream deterministic.
     ///
     /// # Panics
     ///
@@ -234,6 +299,12 @@ impl ChannelSpec {
             ChannelKind::Rayleigh => {
                 Box::new(RayleighChannel::new(ebn0_to_sigma(ebn0_db, rate), seed))
             }
+            ChannelKind::Erasure { p } => Box::new(ErasureChannel::new(p, seed)),
+            ChannelKind::Burst {
+                p_good,
+                p_bad,
+                p_switch,
+            } => Box::new(GilbertElliottChannel::new(p_good, p_bad, p_switch, seed)),
         };
         match self.quant {
             None => inner,
@@ -249,6 +320,39 @@ impl ChannelSpec {
                     family: "bsc",
                     value: p.to_string(),
                     expected: "a crossover probability in (0, 0.5) (e.g. bsc:0.02)",
+                });
+            }
+        }
+        if let ChannelKind::Erasure { p } = self.kind {
+            if !(p > 0.0 && p < 1.0 && p.is_finite()) {
+                return Err(ChannelSpecError::InvalidParameter {
+                    family: "erasure",
+                    value: p.to_string(),
+                    expected: "an erasure probability in (0, 1) (e.g. erasure:0.05)",
+                });
+            }
+        }
+        if let ChannelKind::Burst {
+            p_good,
+            p_bad,
+            p_switch,
+        } = self.kind
+        {
+            for (name, p) in [("p_good", p_good), ("p_bad", p_bad)] {
+                if !(p > 0.0 && p < 0.5 && p.is_finite()) {
+                    return Err(ChannelSpecError::InvalidParameter {
+                        family: "burst",
+                        value: format!("{name}={p}"),
+                        expected: "per-state crossover probabilities in (0, 0.5) \
+                                   (e.g. burst:0.01,0.3,0.05)",
+                    });
+                }
+            }
+            if !(p_switch > 0.0 && p_switch <= 1.0 && p_switch.is_finite()) {
+                return Err(ChannelSpecError::InvalidParameter {
+                    family: "burst",
+                    value: format!("p_switch={p_switch}"),
+                    expected: "a state-switch probability in (0, 1] (e.g. burst:0.01,0.3,0.05)",
                 });
             }
         }
@@ -279,6 +383,27 @@ impl fmt::Display for ChannelSpec {
                     write!(f, "bsc")?;
                 } else {
                     write!(f, "bsc:{p}")?;
+                }
+            }
+            ChannelKind::Erasure { p } => {
+                if p == DEFAULT_ERASURE_P {
+                    write!(f, "erasure")?;
+                } else {
+                    write!(f, "erasure:{p}")?;
+                }
+            }
+            ChannelKind::Burst {
+                p_good,
+                p_bad,
+                p_switch,
+            } => {
+                if p_good == DEFAULT_BURST_P_GOOD
+                    && p_bad == DEFAULT_BURST_P_BAD
+                    && p_switch == DEFAULT_BURST_P_SWITCH
+                {
+                    write!(f, "burst")?;
+                } else {
+                    write!(f, "burst:{p_good},{p_bad},{p_switch}")?;
                 }
             }
         }
@@ -322,6 +447,46 @@ impl FromStr for ChannelSpec {
                         expected: "a crossover probability in (0, 0.5) (e.g. bsc:0.02)",
                     })?,
                 },
+            },
+            "erasure" | "bec" => match param {
+                None => ChannelKind::Erasure {
+                    p: DEFAULT_ERASURE_P,
+                },
+                Some(p) => ChannelKind::Erasure {
+                    p: p.parse().map_err(|_| ChannelSpecError::InvalidParameter {
+                        family: "erasure",
+                        value: p.to_string(),
+                        expected: "an erasure probability in (0, 1) (e.g. erasure:0.05)",
+                    })?,
+                },
+            },
+            "burst" | "gilbert-elliott" => match param {
+                None => ChannelKind::Burst {
+                    p_good: DEFAULT_BURST_P_GOOD,
+                    p_bad: DEFAULT_BURST_P_BAD,
+                    p_switch: DEFAULT_BURST_P_SWITCH,
+                },
+                Some(p) => {
+                    let invalid = || ChannelSpecError::InvalidParameter {
+                        family: "burst",
+                        value: p.to_string(),
+                        expected: "three comma-separated probabilities p_good,p_bad,p_switch \
+                                   (e.g. burst:0.01,0.3,0.05)",
+                    };
+                    let fields: Vec<&str> = p.split(',').collect();
+                    if fields.len() != 3 {
+                        return Err(invalid());
+                    }
+                    let mut probs = [0.0f64; 3];
+                    for (slot, field) in probs.iter_mut().zip(&fields) {
+                        *slot = field.trim().parse().map_err(|_| invalid())?;
+                    }
+                    ChannelKind::Burst {
+                        p_good: probs[0],
+                        p_bad: probs[1],
+                        p_switch: probs[2],
+                    }
+                }
             },
             other => return Err(ChannelSpecError::UnknownFamily(other.to_string())),
         };
@@ -435,6 +600,25 @@ mod tests {
 
         let spec = ChannelSpec::parse("bsc:0.1@quant=3").unwrap();
         assert_eq!(spec.to_string(), "bsc:0.1@quant=3");
+
+        let spec = ChannelSpec::parse("erasure:0.05").unwrap();
+        assert_eq!(spec.kind, ChannelKind::Erasure { p: 0.05 });
+        assert_eq!(spec.to_string(), "erasure:0.05");
+
+        let spec = ChannelSpec::parse("burst:0.02,0.25,0.1").unwrap();
+        assert_eq!(
+            spec.kind,
+            ChannelKind::Burst {
+                p_good: 0.02,
+                p_bad: 0.25,
+                p_switch: 0.1
+            }
+        );
+        assert_eq!(spec.to_string(), "burst:0.02,0.25,0.1");
+
+        let spec = ChannelSpec::parse("burst:0.02,0.25,0.1@quant=4").unwrap();
+        assert_eq!(spec.quant, Some(4));
+        assert_eq!(spec.to_string(), "burst:0.02,0.25,0.1@quant=4");
     }
 
     #[test]
@@ -451,6 +635,14 @@ mod tests {
             ChannelSpec::parse("binary-symmetric:0.1").unwrap(),
             ChannelSpec::parse("bsc:0.1").unwrap()
         );
+        assert_eq!(
+            ChannelSpec::parse("bec:0.05").unwrap(),
+            ChannelSpec::parse("erasure:0.05").unwrap()
+        );
+        assert_eq!(
+            ChannelSpec::parse("gilbert-elliott:0.01,0.3,0.05").unwrap(),
+            ChannelSpec::parse("burst:0.01,0.3,0.05").unwrap()
+        );
     }
 
     #[test]
@@ -459,6 +651,26 @@ mod tests {
         assert_eq!(
             ChannelSpec::parse("bsc:0.02").unwrap().to_string(),
             "bsc:0.02"
+        );
+        assert_eq!(
+            ChannelSpec::parse("erasure:0.1").unwrap().to_string(),
+            "erasure"
+        );
+        assert_eq!(
+            ChannelSpec::parse("erasure:0.05").unwrap().to_string(),
+            "erasure:0.05"
+        );
+        assert_eq!(
+            ChannelSpec::parse("burst:0.01,0.3,0.05")
+                .unwrap()
+                .to_string(),
+            "burst"
+        );
+        assert_eq!(
+            ChannelSpec::parse("burst:0.01,0.3,0.02")
+                .unwrap()
+                .to_string(),
+            "burst:0.01,0.3,0.02"
         );
     }
 
@@ -476,6 +688,21 @@ mod tests {
 
         let err = ChannelSpec::parse("awgn:0.5").unwrap_err();
         assert!(err.to_string().contains("takes no parameter"), "{err}");
+
+        let err = ChannelSpec::parse("erasure:1.5").unwrap_err();
+        assert!(err.to_string().contains("(0, 1)"), "{err}");
+
+        let err = ChannelSpec::parse("erasure:lots").unwrap_err();
+        assert!(err.to_string().contains("erasure:0.05"), "{err}");
+
+        let err = ChannelSpec::parse("burst:0.01,0.3").unwrap_err();
+        assert!(err.to_string().contains("p_good,p_bad,p_switch"), "{err}");
+
+        let err = ChannelSpec::parse("burst:0.01,0.7,0.05").unwrap_err();
+        assert!(err.to_string().contains("p_bad=0.7"), "{err}");
+
+        let err = ChannelSpec::parse("burst:0.01,0.3,0").unwrap_err();
+        assert!(err.to_string().contains("p_switch=0"), "{err}");
 
         let err = ChannelSpec::parse("awgn@turbo").unwrap_err();
         assert!(err.to_string().contains("@quant"), "{err}");

@@ -78,8 +78,10 @@ proptest! {
     /// `parse(display(spec)) == spec`, and display is a fixpoint.
     #[test]
     fn channel_spec_roundtrips(
-        family_idx in 0usize..3,
+        family_idx in 0usize..5,
         p in 0.001f64..0.499,
+        p_bad in 0.001f64..0.499,
+        p_switch in 0.001f64..1.0,
         quant_bits in 2u32..16,
         quantized in any::<bool>(),
     ) {
@@ -87,6 +89,8 @@ proptest! {
         let kind = match family_idx {
             0 => ChannelKind::Awgn,
             1 => ChannelKind::Bsc { p },
+            2 => ChannelKind::Erasure { p: 2.0 * p },
+            3 => ChannelKind::Burst { p_good: p, p_bad, p_switch },
             _ => ChannelKind::Rayleigh,
         };
         let spec = ChannelSpec {
@@ -104,7 +108,7 @@ proptest! {
     /// matches the codeword, deterministically per seed.
     #[test]
     fn channel_specs_build_deterministic_channels(
-        family_idx in 0usize..3,
+        family_idx in 0usize..5,
         p in 0.001f64..0.499,
         ebn0 in -2.0f64..10.0,
         seed in 0u64..500,
@@ -113,6 +117,8 @@ proptest! {
         let kind = match family_idx {
             0 => ChannelKind::Awgn,
             1 => ChannelKind::Bsc { p },
+            2 => ChannelKind::Erasure { p },
+            3 => ChannelKind::Burst { p_good: p, p_bad: 0.3, p_switch: 0.05 },
             _ => ChannelKind::Rayleigh,
         };
         let spec = ChannelSpec { kind, quant: None };
@@ -133,5 +139,63 @@ proptest! {
         prop_assert!(!err.to_string().is_empty());
         let err = ChannelSpec::parse(&format!("{junk}-channel")).unwrap_err();
         prop_assert!(!err.to_string().is_empty());
+        let err = ChannelSpec::parse(&format!("burst:{junk}"))
+            .expect_err("malformed burst parameter accepted");
+        prop_assert!(!err.to_string().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The erasure channel marks *exactly* the erased positions with a
+    /// zero LLR; every other position carries the transmitted bit's sign
+    /// at the full known-symbol magnitude — an erasure never flips.
+    #[test]
+    fn erasure_zeroes_exactly_the_erased_positions(
+        bits in prop::collection::vec(any::<bool>(), 1..512),
+        p in 0.01f64..0.99,
+        seed in 0u64..1000,
+    ) {
+        use ldpc_channel::{ErasureChannel, ERASURE_KNOWN_LLR};
+        let cw = BitVec::from_bools(&bits);
+        let llrs = ErasureChannel::new(p, seed).transmit_codeword(&cw);
+        prop_assert_eq!(llrs.len(), bits.len());
+        for (i, &l) in llrs.iter().enumerate() {
+            if l == 0.0 {
+                continue; // erased: no information, and no flip either
+            }
+            prop_assert_eq!(l.abs(), ERASURE_KNOWN_LLR, "off-magnitude LLR at {}", i);
+            prop_assert_eq!(l < 0.0, bits[i], "surviving symbol flipped at {}", i);
+        }
+    }
+
+    /// The symmetric Gilbert-Elliott chain's stationary distribution is
+    /// ½/½: over a long transmission the empirical bad-state occupancy
+    /// (observable through the per-state CSI magnitude) converges to one
+    /// half regardless of switching rate or seed.
+    #[test]
+    fn gilbert_elliott_occupancy_converges_to_stationary(
+        p_switch in 0.02f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        use ldpc_channel::GilbertElliottChannel;
+        let (p_good, p_bad) = (0.01, 0.3);
+        let n = 60_000usize;
+        let llrs = GilbertElliottChannel::new(p_good, p_bad, p_switch, seed)
+            .transmit_codeword(&BitVec::zeros(n));
+        let bad_magnitude = ((1.0 - p_bad) as f32 / p_bad as f32).ln();
+        let bad = llrs
+            .iter()
+            .filter(|l| (l.abs() - bad_magnitude).abs() < 1e-4)
+            .count();
+        let occupancy = bad as f64 / n as f64;
+        // Tolerance covers the worst case (slowest chain, ~1200
+        // independent sojourns of mean length 50): ±6 std devs.
+        let tolerance = 6.0 * (0.25 / (n as f64 * p_switch)).sqrt() + 0.01;
+        prop_assert!(
+            (occupancy - 0.5).abs() < tolerance,
+            "occupancy {} vs stationary 0.5 (p_switch {})", occupancy, p_switch
+        );
     }
 }

@@ -100,6 +100,9 @@ CODE SPECS (simulate --code / sweep --codes; default c2):
 CHANNEL SPECS (simulate --channel / sweep --channels; default awgn):
   families: {channels} — modifier @quant=B (B-bit LLR quantization)
   examples: awgn | bsc:0.02 | rayleigh | awgn@quant=5
+            erasure:0.05 | burst:0.01,0.3,0.05 (Gilbert-Elliott
+            good/bad crossover + switch probability; pair the loss
+            channels with the peeling decoder)
 
 DECODER SPECS (simulate --decoder / sweep --decoders):
   family[:param][@modifier...] — families: {families}

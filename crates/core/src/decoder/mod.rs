@@ -16,6 +16,7 @@
 //! | [`BatchMinSumDecoder`] / [`BatchFixedDecoder`] | as above, ×F frames | lockstep over interleaved memory | frames-per-word packing (Table 3) |
 //! | [`PackedFixedDecoder`] | SWAR i8 lanes, ×8 frames per word | sign·min on byte lanes, one word op per edge | frames-per-word packing at register width |
 //! | [`BitsliceGallagerBDecoder`] | boolean planes, ×64 frames | majority vote via carry-save counters | frames-per-word at the hard-decision limit |
+//! | [`PeelingDecoder`] | GF(2) | degree-1 erasure peeling + dense inactivation solve | fountain-code baseline for the packet-loss workload |
 //!
 //! Every family is also reachable declaratively: [`DecoderSpec`] parses a
 //! spec string (`nms:1.25@batch=8`, `gallager-b@bitslice`, …) and builds
@@ -32,6 +33,7 @@ pub mod kernels;
 mod layered;
 mod minsum;
 mod packed;
+mod peeling;
 mod qc_layered;
 mod selfcorrect;
 mod spa;
@@ -48,6 +50,7 @@ pub use kernels::Scaling;
 pub use layered::LayeredMinSumDecoder;
 pub use minsum::{MinSumConfig, MinSumDecoder, MinSumVariant};
 pub use packed::{PackedFixedDecoder, PACK_LANES};
+pub use peeling::{PeelingDecoder, PEELING_ERASURE_FRACTION};
 pub use qc_layered::QcLayeredDecoder;
 pub use selfcorrect::SelfCorrectedMinSumDecoder;
 pub use spa::SumProductDecoder;

@@ -21,6 +21,7 @@
 //! | `self-corrected:1.25` | [`SelfCorrectedMinSumDecoder`] | α ≥ 1 (default 4/3) |
 //! | `gallager-b:t=2` | [`GallagerBDecoder`] | flip threshold ≥ 1 (default 3) |
 //! | `wbf` | [`WeightedBitFlipDecoder`] | — |
+//! | `peeling` | [`PeelingDecoder`] | — (erasure peeling + inactivation) |
 //!
 //! Modifiers change *how* the family runs, not *what* it computes (the
 //! packed mirrors are bit-exact against their scalar references):
@@ -52,8 +53,8 @@ use crate::decoder::block::{Batched, BlockDecoder, PerFrame};
 use crate::decoder::{
     BatchFixedDecoder, BatchMinSumDecoder, BitsliceGallagerBDecoder, FixedConfig, FixedDecoder,
     GallagerBDecoder, LayeredMinSumDecoder, MinSumConfig, MinSumDecoder, PackedFixedDecoder,
-    QcLayeredDecoder, SelfCorrectedMinSumDecoder, SumProductDecoder, WeightedBitFlipDecoder,
-    PACK_LANES,
+    PeelingDecoder, QcLayeredDecoder, SelfCorrectedMinSumDecoder, SumProductDecoder,
+    WeightedBitFlipDecoder, PACK_LANES,
 };
 use crate::LdpcCode;
 use std::fmt;
@@ -111,6 +112,8 @@ pub enum DecoderFamily {
     },
     /// Weighted bit-flipping (hard decisions + channel reliabilities).
     WeightedBitFlip,
+    /// Degree-1 erasure peeling with a dense inactivation fallback.
+    Peeling,
 }
 
 impl DecoderFamily {
@@ -127,6 +130,7 @@ impl DecoderFamily {
             Self::SelfCorrected { .. } => "self-corrected",
             Self::GallagerB { .. } => "gallager-b",
             Self::WeightedBitFlip => "wbf",
+            Self::Peeling => "peeling",
         }
     }
 
@@ -209,10 +213,11 @@ impl DecoderSpec {
             "self-corrected",
             "gallager-b",
             "wbf",
+            "peeling",
         ]
     }
 
-    /// One canonical spec per registered decoder family: the ten scalar
+    /// One canonical spec per registered decoder family: the eleven scalar
     /// families of [`family_names`](Self::family_names) plus the four
     /// packed mirrors (`nms@batch=8`, `fixed@batch=8`, `fixed@pack=8`,
     /// `gallager-b@bitslice`).
@@ -444,6 +449,7 @@ impl DecoderSpec {
             DecoderFamily::WeightedBitFlip => {
                 Box::new(PerFrame::new(WeightedBitFlipDecoder::new(code)))
             }
+            DecoderFamily::Peeling => Box::new(PerFrame::new(PeelingDecoder::new(code))),
         }
     }
 }
@@ -458,7 +464,8 @@ impl fmt::Display for DecoderSpec {
             DecoderFamily::SumProduct
             | DecoderFamily::MinSum
             | DecoderFamily::Fixed
-            | DecoderFamily::WeightedBitFlip => write!(f, "{}", self.family.keyword())?,
+            | DecoderFamily::WeightedBitFlip
+            | DecoderFamily::Peeling => write!(f, "{}", self.family.keyword())?,
             DecoderFamily::NormalizedMinSum { alpha }
             | DecoderFamily::Layered { alpha }
             | DecoderFamily::QcLayered { alpha }
@@ -618,6 +625,7 @@ fn parse_family(keyword: &str, param: Option<&str>) -> Result<DecoderFamily, Spe
             }
         },
         "wbf" | "weighted-bit-flip" => no_param(DecoderFamily::WeightedBitFlip),
+        "peeling" => no_param(DecoderFamily::Peeling),
         other => Err(SpecError::UnknownFamily(other.to_string())),
     }
 }
@@ -971,6 +979,7 @@ mod tests {
                 threshold: DEFAULT_GALLAGER_THRESHOLD,
             },
             F::WeightedBitFlip,
+            F::Peeling,
         ];
         for family in one_of_each {
             // Exhaustiveness guard: extend `one_of_each` when this match
@@ -985,7 +994,8 @@ mod tests {
                 | F::QcLayered { .. }
                 | F::SelfCorrected { .. }
                 | F::GallagerB { .. }
-                | F::WeightedBitFlip => {}
+                | F::WeightedBitFlip
+                | F::Peeling => {}
             }
             let keyword = family.keyword();
             assert!(

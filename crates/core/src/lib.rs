@@ -62,9 +62,9 @@ pub use decoder::{
     decode_frames, BatchDecoder, BatchFixedDecoder, BatchMinSumDecoder, Batched,
     BitsliceGallagerBDecoder, BlockDecoder, DecodeResult, DecodeTrace, Decoder, DecoderFamily,
     DecoderSpec, FixedConfig, FixedDecoder, GallagerBDecoder, IterationStats, LayeredMinSumDecoder,
-    MinSumConfig, MinSumDecoder, MinSumVariant, PackedFixedDecoder, PerFrame, QcLayeredDecoder,
-    Scaling, SelfCorrectedMinSumDecoder, SpecError, SumProductDecoder, WeightedBitFlipDecoder,
-    PACK_LANES,
+    MinSumConfig, MinSumDecoder, MinSumVariant, PackedFixedDecoder, PeelingDecoder, PerFrame,
+    QcLayeredDecoder, Scaling, SelfCorrectedMinSumDecoder, SpecError, SumProductDecoder,
+    WeightedBitFlipDecoder, PACK_LANES, PEELING_ERASURE_FRACTION,
 };
 pub use encoder::Encoder;
 pub use error::{CodeError, EncodeError};

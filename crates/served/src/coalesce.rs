@@ -2,8 +2,12 @@
 //! a bounded wait for full packed words.
 //!
 //! Every decode request lands in the queue of its key — the canonical
-//! `"<code> / <decoder>"` rendering of its scenario (the channel part,
-//! if present, is ignored: the server decodes what it is sent). A pool
+//! `"<code> / <decoder>"` rendering of its scenario. The channel part,
+//! if present, must parse under the full channel grammar (`awgn`,
+//! `bsc:p`, `erasure:p`, `burst:…`, `@quant=B`, …) — an unknown channel
+//! is rejected with that grammar's own actionable error — but a valid
+//! channel does not enter the key: the server decodes what it is sent,
+//! it does not simulate a channel. A pool
 //! of worker threads watches the queues and dispatches a batch when
 //! either
 //!
@@ -443,11 +447,28 @@ mod tests {
         );
         let err = c.ensure_key("wat / fixed").unwrap_err();
         assert!(err.message().contains("code part"), "{}", err.message());
-        // Channel part of a 3-part spec is accepted and ignored; the
-        // key collapses to code / decoder.
-        let (key, _) = c.ensure_key("demo / rayleigh / fixed").unwrap();
-        assert_eq!(key, "demo / fixed");
+        // An unknown channel in a 3-part spec is rejected with the
+        // channel grammar's own error, which names the known models.
+        let err = c.ensure_key("demo / zeta / fixed").unwrap_err();
+        assert!(err.message().contains("channel part"), "{}", err.message());
+        assert!(err.message().contains("known models"), "{}", err.message());
+        assert!(err.message().contains("erasure"), "{}", err.message());
+        assert!(err.message().contains("burst"), "{}", err.message());
+        // A malformed parameter of a known channel is rejected too.
+        let err = c.ensure_key("demo / burst:0.01,0.3 / fixed").unwrap_err();
+        assert!(
+            err.message().contains("p_good,p_bad,p_switch"),
+            "{}",
+            err.message()
+        );
+        // A *valid* channel part of a 3-part spec must parse but does
+        // not enter the key: the key collapses to code / decoder, for
+        // the loss channels exactly as for the noise channels.
+        for channel in ["rayleigh", "erasure:0.05", "burst:0.01,0.3,0.05"] {
+            let (key, _) = c.ensure_key(&format!("demo / {channel} / fixed")).unwrap();
+            assert_eq!(key, "demo / fixed", "{channel}");
+        }
         let (key2, _) = c.ensure_key("demo / fixed").unwrap();
-        assert_eq!(key, key2);
+        assert_eq!(key2, "demo / fixed");
     }
 }

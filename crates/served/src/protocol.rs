@@ -17,9 +17,12 @@
 //!
 //! `<scenario>` is any string the [`Scenario`](ldpc_sim::Scenario)
 //! grammar accepts — the two-part shorthand `"c2 / fixed@pack=8"`
-//! (channel defaulted) or the full three-part form (the channel part is
-//! accepted and ignored; the server decodes what it is sent, it does
-//! not simulate a channel). `<kind>` names the payload encoding:
+//! (channel defaulted) or the full three-part form. The channel part
+//! must parse under the full channel grammar (an unknown channel model
+//! earns an `ERR` naming the grammar's known models), but a valid
+//! channel is then dropped from the queue key; the server decodes what
+//! it is sent, it does not simulate a channel. `<kind>` names the
+//! payload encoding:
 //!
 //! | kind       | payload                                              |
 //! |------------|------------------------------------------------------|

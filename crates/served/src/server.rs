@@ -421,9 +421,22 @@ mod tests {
             .unwrap();
         assert!(frame.converged);
 
+        // A loss-channel part parses and is dropped from the key, and
+        // the peeling decoder serves erasure-marked (zero-LLR) frames:
+        // knock out a run of symbols and let it peel them back.
+        let mut erased = clean_llr8(n);
+        for llr in erased.iter_mut().take(24) {
+            *llr = 0;
+        }
+        let frame = client
+            .decode_llr8("demo / erasure:0.05 / peeling", &erased, Encoding::Hex)
+            .unwrap();
+        assert!(frame.converged);
+        assert!((0..n).all(|i| !frame.bit(i)));
+
         let stats = client.stats().unwrap();
         assert!(
-            stats.contains("ldpc_served_frames_decoded_total 2"),
+            stats.contains("ldpc_served_frames_decoded_total 3"),
             "{stats}"
         );
         assert!(
@@ -433,8 +446,8 @@ mod tests {
 
         client.shutdown_server().unwrap();
         let summary = join.join().unwrap();
-        assert_eq!(summary.frames_decoded, 2);
-        assert!(summary.requests >= 4);
+        assert_eq!(summary.frames_decoded, 3);
+        assert!(summary.requests >= 5);
     }
 
     #[test]
@@ -447,6 +460,10 @@ mod tests {
             ("DECODE|demo / fixed|llr8-hex|zz", "hex"),
             ("DECODE|wat / fixed|llr8-hex|00", "code part"),
             ("DECODE|demo / bsc:0.02|llr8-hex|00", "name the decoder"),
+            // An unknown channel in a 3-part spec earns the channel
+            // grammar's own error, naming the known models.
+            ("DECODE|demo / zeta / fixed|llr8-hex|00", "known models"),
+            ("DECODE|demo / burst:0.5 / fixed|llr8-hex|00", "p_switch"),
             ("DECODE|demo / fixed|llr8-hex|00", "expects n="),
         ] {
             let resp = client.raw_request(line).unwrap();

@@ -23,6 +23,11 @@
 //!   with adaptive per-point stopping (run to a frame-error target or a
 //!   cap) and a content-addressed on-disk cache ([`SweepConfig`]) that
 //!   makes re-runs and budget extensions incremental;
+//! * [`run_point_packets`] — the packet-loss workload: frames leave as
+//!   fixed-size packets, the scenario's `erasure`/`burst` channel drops
+//!   whole packets, and survivors reassemble into zero-LLR-filled
+//!   decoder input (dropping nothing reproduces the plain path bit for
+//!   bit);
 //! * [`PointResult`] — error counts with BER/PER accessors and Wilson
 //!   confidence intervals; [`to_csv`] renders a sweep for plotting.
 //!
@@ -66,12 +71,16 @@
 
 mod gain;
 mod orchestrator;
+mod packet;
 mod scenario;
 
 pub use gain::{ebn0_at_per, gain_db, ThresholdResult};
 pub use orchestrator::{
     chunk_key, run_sweep, sha256_hex, sweep_grid, SweepConfig, SweepError, SweepUnit,
     SweepUnitResult,
+};
+pub use packet::{
+    run_point_packets, PacketChannel, PacketDropModel, PacketLossReport, PacketStats,
 };
 pub use scenario::{
     run_curve_scenario, run_curve_scenario_with, run_point_scenario, run_point_scenario_with,
@@ -405,6 +414,39 @@ where
     F: Fn() -> B + Sync,
     B: BlockDecoder,
 {
+    let rate = handle.rate();
+    run_point_engine_with(
+        handle,
+        encoder,
+        count_positions,
+        &|worker_seed| channel_spec.build(cfg.ebn0_db, rate, worker_seed),
+        cfg,
+        factory,
+        progress,
+    )
+}
+
+/// [`run_point_engine`] with an explicit channel factory instead of a
+/// [`ChannelSpec`]: `channel_factory(worker_seed)` builds worker `t`'s
+/// channel from its derived seed. This is the door the packet-loss
+/// workload uses to wrap the spec-built channel in a
+/// [`PacketChannel`](crate::PacketChannel) — the worker-seed derivation
+/// is shared, so a wrapper that drops nothing reproduces the plain
+/// spec-built run bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_point_engine_with<F, B>(
+    handle: &dyn CodeHandle,
+    encoder: Option<&Arc<Encoder>>,
+    count_positions: &[u32],
+    channel_factory: &(dyn Fn(u64) -> Box<dyn ldpc_channel::Channel> + Sync),
+    cfg: &MonteCarloConfig,
+    factory: F,
+    progress: Option<&AtomicU64>,
+) -> PointResult
+where
+    F: Fn() -> B + Sync,
+    B: BlockDecoder,
+{
     assert!(cfg.max_frames > 0, "max_frames must be positive");
     let n = handle.code().n();
     let tx_len = handle.transmitted_len();
@@ -421,7 +463,6 @@ where
     } else {
         cfg.threads
     };
-    let rate = handle.rate();
     let info_bits_per_frame = count_positions.len() as u64;
 
     let frames_claimed = AtomicU64::new(0);
@@ -452,7 +493,7 @@ where
                 let worker_seed = cfg
                     .seed
                     .wrapping_add(WORKER_SEED_STRIDE.wrapping_mul(t as u64 + 1));
-                let mut channel = channel_spec.build(cfg.ebn0_db, rate, worker_seed);
+                let mut channel = channel_factory(worker_seed);
                 let mut msg_rng = StdRng::seed_from_u64(worker_seed ^ 0xABCD_EF01);
                 let zero = BitVec::zeros(n);
                 let zero_tx = BitVec::zeros(tx_len);

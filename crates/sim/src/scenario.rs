@@ -323,10 +323,15 @@ pub fn run_curve_scenario_with(
 }
 
 /// Splits a comma-separated list of spec strings, re-attaching
-/// `key=value` continuations to the previous element so parameterized
-/// code specs survive: `demo,ar4ja:r=2/3,k=1024` splits into `demo` and
+/// parameter continuations to the previous element so parameterized
+/// specs survive: `demo,ar4ja:r=2/3,k=1024` splits into `demo` and
 /// `ar4ja:r=2/3,k=1024`, because `k=1024` is a parameter continuation,
-/// not a spec.
+/// not a spec. A continuation is either a `key=value` token or a bare
+/// number (optionally carrying an `@modifier` tail), so the burst
+/// channel's probability triple holds together too:
+/// `awgn,burst:0.01,0.3,0.05@quant=4` splits into `awgn` and
+/// `burst:0.01,0.3,0.05@quant=4`. No spec grammar in the workspace
+/// starts with a bare number, so the rule is unambiguous.
 ///
 /// This is the one list-splitting rule of the workspace: `ldpc-tool`'s
 /// `sweep --codes/--channels/--decoders` flags use it, and the docs
@@ -338,13 +343,22 @@ pub fn run_curve_scenario_with(
 ///     ldpc_sim::split_spec_list("demo,ar4ja:r=2/3,k=1024"),
 ///     vec!["demo".to_string(), "ar4ja:r=2/3,k=1024".to_string()]
 /// );
+/// assert_eq!(
+///     ldpc_sim::split_spec_list("erasure:0.05,burst:0.01,0.3,0.05"),
+///     vec!["erasure:0.05".to_string(), "burst:0.01,0.3,0.05".to_string()]
+/// );
 /// ```
 pub fn split_spec_list(list: &str) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for token in list.split(',') {
         let continuation = match token.split_once('=') {
             Some((key, _)) => !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric()),
-            None => false,
+            // A bare number (with an optional @modifier tail) can only be
+            // the next field of the previous spec's parameter list.
+            None => {
+                let head = token.split('@').next().unwrap_or(token);
+                !head.is_empty() && head.parse::<f64>().is_ok()
+            }
         };
         match out.last_mut() {
             Some(prev) if continuation => {

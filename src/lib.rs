@@ -12,7 +12,8 @@
 //!   encoder, and the decoder family (sum-product, normalized min-sum,
 //!   bit-accurate fixed point, layered), plus the frame-batched decoders
 //!   that mirror the architecture's frames-per-word packing;
-//! * [`channel`] — BPSK modulation, the AWGN/BSC/Rayleigh channel models
+//! * [`channel`] — BPSK modulation, the AWGN/BSC/Rayleigh channel
+//!   models plus the erasure and Gilbert-Elliott burst channels
 //!   behind the object-safe `Channel` trait, and LLR demapping;
 //! * [`hwsim`] — the paper's generic parallel architecture: cycle-accurate
 //!   simulator, throughput model (Table 1), and FPGA resource model

@@ -1,11 +1,11 @@
 //! Robustness integration: the decoder stack across channel models,
 //! shortening, and erasures — conditions a flight decoder IP must survive.
 
-use ccsds_ldpc::channel::{AwgnChannel, BscChannel, RayleighChannel};
+use ccsds_ldpc::channel::{AwgnChannel, BscChannel, ErasureChannel, RayleighChannel};
 use ccsds_ldpc::core::codes::small::demo_code;
 use ccsds_ldpc::core::{
-    Decoder, Encoder, FixedConfig, FixedDecoder, MinSumConfig, MinSumDecoder, ShortenedCode,
-    SumProductDecoder,
+    Decoder, Encoder, FixedConfig, FixedDecoder, MinSumConfig, MinSumDecoder, PeelingDecoder,
+    ShortenedCode, SumProductDecoder,
 };
 use ccsds_ldpc::gf2::BitVec;
 
@@ -89,6 +89,28 @@ fn mixed_erasures_and_noise() {
     let out = dec.decode(&llrs, 40);
     assert!(out.converged, "erasure burst should be recoverable at 6 dB");
     assert!(out.hard_decision.is_zero());
+}
+
+#[test]
+fn peeling_and_soft_decoders_agree_on_the_erasure_channel() {
+    // The registered erasure channel against both decoding styles: the
+    // erasure-native peeling solver and the soft fixed-point datapath
+    // must each recover every frame at 8% losses on the demo code
+    // (erasure limit m/n ≈ 0.24), and the erased-count bookkeeping of
+    // the channel must match what the decoders saw.
+    let code = demo_code();
+    let mut ch = ErasureChannel::new(0.08, 11);
+    let mut peeling = PeelingDecoder::new(code.clone());
+    let mut fixed = FixedDecoder::new(code.clone(), FixedConfig::default());
+    for _ in 0..30 {
+        let llrs = ch.transmit_codeword(&BitVec::zeros(code.n()));
+        let erased = llrs.iter().filter(|&&l| l == 0.0).count();
+        assert!(erased < code.n() / 5, "improbable erasure count {erased}");
+        let a = peeling.decode(&llrs, 30);
+        let b = fixed.decode(&llrs, 30);
+        assert!(a.converged && a.hard_decision.is_zero());
+        assert!(b.converged && b.hard_decision.is_zero());
+    }
 }
 
 #[test]

@@ -84,10 +84,10 @@ fn registry_is_complete() {
             "family {name} is parseable but missing from DecoderSpec::all_families()"
         );
     }
-    // 10 scalar families + 4 packed mirrors. Update both the grammar and
+    // 11 scalar families + 4 packed mirrors. Update both the grammar and
     // this count when registering a new family.
-    assert_eq!(DecoderSpec::family_names().len(), 10);
-    assert_eq!(all.len(), 14);
+    assert_eq!(DecoderSpec::family_names().len(), 11);
+    assert_eq!(all.len(), 15);
     // Canonical specs round trip through the grammar.
     for spec in &all {
         assert_eq!(
@@ -201,15 +201,24 @@ fn channel_corpus(channel: &str) -> Vec<f32> {
     llrs
 }
 
-/// The soundness contract is channel-independent: on BSC (constant LLR
-/// magnitudes — the hard-decision regime) and Rayleigh fading (wildly
-/// varying magnitudes), every registry family may fail to decode but
-/// must never claim success on a non-codeword, and must stay
-/// deterministic under the pinned corpus seed.
+/// The soundness contract is channel-independent, asserted on every
+/// non-default channel family in the registry: BSC (constant LLR
+/// magnitudes — the hard-decision regime), Rayleigh fading (wildly
+/// varying magnitudes), symbol erasures (zero LLRs among known-symbol
+/// certainties), and the Gilbert-Elliott burst channel (clustered weak
+/// wrong beliefs; a mild operating point so its clean end stays
+/// decodable). Every registry family may fail to decode but must never
+/// claim success on a non-codeword, and must stay deterministic under
+/// the pinned corpus seed.
 #[test]
-fn every_family_sound_and_deterministic_on_bsc_and_rayleigh() {
+fn every_family_sound_and_deterministic_on_every_channel_family() {
     let code = demo_code();
-    for channel in ["bsc:0.02", "rayleigh"] {
+    for channel in [
+        "bsc:0.02",
+        "rayleigh",
+        "erasure:0.05",
+        "burst:0.005,0.06,0.02",
+    ] {
         let llrs = channel_corpus(channel);
         let n_frames = llrs.len() / code.n();
         let mut any_success = 0usize;

@@ -55,6 +55,10 @@ const CHANNEL_KEYWORDS: &[&str] = &[
     "binary-symmetric",
     "rayleigh",
     "fading",
+    "erasure",
+    "bec",
+    "burst",
+    "gilbert-elliott",
 ];
 const DECODER_KEYWORDS: &[&str] = &[
     "spa",
@@ -73,6 +77,7 @@ const DECODER_KEYWORDS: &[&str] = &[
     "gb",
     "wbf",
     "weighted-bit-flip",
+    "peeling",
 ];
 
 /// Parses `candidate` with whichever grammar its head keyword belongs

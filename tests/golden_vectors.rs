@@ -250,6 +250,10 @@ const GOLDEN_REGISTRY: &[(&str, u64)] = &[
     ("self-corrected", 6862033022456571360),
     ("gallager-b", 7840324428456516466),
     ("wbf", 17663036489116059531),
+    // Peeling on the golden batch: every LLR clears the adaptive erasure
+    // threshold, so nothing is erased and the result is the input's hard
+    // decision with an honest syndrome verdict per frame.
+    ("peeling", 9123306870279701144),
     // The packed mirrors are bit-exact against their scalar references,
     // so their fingerprints coincide with `nms` / `fixed` / `gallager-b`
     // above — and `nms`, `fixed`, and `layered` coincide with the
@@ -276,6 +280,64 @@ fn packed_fixed_fingerprint_coincides_with_scalar_fixed() {
     };
     assert_eq!(find("fixed@pack=8"), find("fixed"));
     assert_eq!(find("fixed@pack=8"), GOLDEN_BATCH_FIXED);
+}
+
+/// Frozen fingerprint of the paper's C2 code under the erasure channel:
+/// one all-zero C2 frame through `erasure:0.05` at a pinned seed,
+/// decoded by the fixed-point datapath. Pins the erasure channel's
+/// exact sampling stream, the zero-LLR erasure convention, and the
+/// fixed decoder's handling of erased inputs all at once.
+const GOLDEN_C2_ERASURE_FIXED: u64 = 18419275079292068489;
+
+#[test]
+fn c2_erasure_fixed_golden_vector() {
+    use ccsds_ldpc::channel::ChannelSpec;
+    let code = ccsds_c2::code();
+    let spec = ChannelSpec::parse("erasure:0.05").unwrap();
+    // Eb/N0 is bookkeeping for the erasure channel; only the seed and p
+    // shape the output.
+    let llrs = spec
+        .build(4.0, code.rate(), 0x2009_0420)
+        .transmit_codeword(&BitVec::zeros(code.n()));
+    let erased = llrs.iter().filter(|l| **l == 0.0).count();
+    // ~5% of 8176 symbols, loosely bracketed: the channel must actually
+    // erase for the fingerprint to mean anything.
+    assert!((300..520).contains(&erased), "{erased} erasures");
+    let out = DecoderSpec::parse("fixed")
+        .unwrap()
+        .build(&code)
+        .decode_block(&llrs, 18);
+    assert!(out[0].converged, "5% erasures are easy for the C2 code");
+    assert!(out[0].hard_decision.is_zero());
+    assert_eq!(results_fingerprint(&out), GOLDEN_C2_ERASURE_FIXED);
+}
+
+/// The packet-loss workload with zero drops IS the plain channel path:
+/// a symbol-noise scenario run through `run_point_packets` must
+/// reproduce `run_point_scenario` bit for bit — the wrapper adds
+/// accounting, never perturbation.
+#[test]
+fn packet_workload_with_zero_drops_matches_plain_path_bit_identically() {
+    use ccsds_ldpc::sim::{
+        run_point_packets, run_point_scenario, MonteCarloConfig, Scenario, Transmission,
+    };
+    let cfg = MonteCarloConfig {
+        ebn0_db: 3.0,
+        max_frames: 120,
+        target_frame_errors: 0,
+        max_iterations: 18,
+        seed: 0xC0DE_2009,
+        threads: 1,
+        transmission: Transmission::AllZero,
+    };
+    for s in ["demo / awgn / fixed", "demo / bsc:0.03 / nms:1.25"] {
+        let sc = Scenario::parse(s).unwrap();
+        let plain = run_point_scenario(&sc, &cfg).unwrap();
+        let (packetized, report) = run_point_packets(&sc, 31, &cfg).unwrap();
+        assert_eq!(packetized, plain, "{s}: packet wrapper perturbed the run");
+        assert_eq!(report.dropped, 0, "{s}");
+        assert_eq!(report.packets, 120 * 8, "{s}: demo n=248 → 8 packets");
+    }
 }
 
 #[test]
